@@ -1,0 +1,62 @@
+"""Ablation — the priority weights of equation (4).
+
+The paper fixed (alpha, beta, gamma) = (0.3, 0.6, 0.1) "after careful
+experimentation".  This bench compares that setting against pure
+depth-first (alpha only), pure elimination-greedy (beta only), and a
+literal-count-blind variant, on a fixed sample of three-variable
+functions, reporting solve rate, average size, and search effort.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.common import scaled
+from repro.functions.permutation import random_permutation
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+from repro.utils.tables import format_table
+
+WEIGHTS = {
+    "paper (0.3, 0.6, 0.1)": (0.3, 0.6, 0.1),
+    "depth only (1, 0, 0)": (1.0, 0.0, 0.0),
+    "elim only (0, 1, 0)": (0.0, 1.0, 0.0),
+    "no literal penalty (0.33, 0.67, 0)": (0.33, 0.67, 0.0),
+}
+
+BASE = SynthesisOptions(dedupe_states=True, max_steps=8_000)
+
+
+def bench_ablation_priority(once):
+    def run():
+        rng = random.Random(41)
+        specs = [random_permutation(3, rng) for _ in range(scaled(25))]
+        rows = []
+        measured = {}
+        for label, (alpha, beta, gamma) in WEIGHTS.items():
+            options = BASE.with_(alpha=alpha, beta=beta, gamma=gamma)
+            solved = 0
+            gates = 0
+            steps = 0
+            for spec in specs:
+                result = synthesize(spec, options)
+                steps += result.stats.steps
+                if result.solved:
+                    assert result.verify(spec)
+                    solved += 1
+                    gates += result.gate_count
+            average = gates / solved if solved else None
+            rows.append((label, f"{solved}/{len(specs)}", average,
+                         steps // len(specs)))
+            measured[label] = (solved, average)
+        print()
+        print(format_table(
+            ["weights", "solved", "avg gates", "avg steps"], rows,
+            title="Ablation: priority weights (3-variable sample)",
+        ))
+        return measured
+
+    measured = once(run)
+    paper_solved, paper_average = measured["paper (0.3, 0.6, 0.1)"]
+    assert paper_solved == scaled(25)
+    assert paper_average is not None and paper_average < 7.5

@@ -1,0 +1,72 @@
+"""Ablation — template post-processing (the paper's 6.10 -> 6.05 note).
+
+Sec. V-A reports that template simplification [21] improved the Table I
+average from 6.10 to 6.05.  This bench measures the same effect with
+this library's template/peephole simplifier on a three-variable sample,
+and the (larger) effect on four-variable greedy output, where junk
+pairs are more common.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.common import scaled
+from repro.functions.permutation import random_permutation
+from repro.postprocess.templates import simplify
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+from repro.utils.tables import format_table
+
+
+def bench_ablation_templates(once):
+    def run():
+        rng = random.Random(53)
+        rows = []
+        measured = {}
+        for label, num_vars, options in (
+            (
+                "3-var basic",
+                3,
+                SynthesisOptions(dedupe_states=True, max_steps=8_000),
+            ),
+            (
+                "4-var greedy",
+                4,
+                SynthesisOptions(
+                    dedupe_states=True, max_steps=10_000, greedy_k=3,
+                    restart_steps=2_000, max_gates=40,
+                ),
+            ),
+        ):
+            raw_total = 0
+            simplified_total = 0
+            solved = 0
+            for _ in range(scaled(12)):
+                spec = random_permutation(num_vars, rng)
+                result = synthesize(spec, options)
+                if not result.solved:
+                    continue
+                solved += 1
+                raw_total += result.gate_count
+                reduced = simplify(result.circuit)
+                assert reduced.implements(spec)
+                simplified_total += reduced.gate_count()
+            raw_average = raw_total / solved if solved else None
+            simplified_average = (
+                simplified_total / solved if solved else None
+            )
+            rows.append((label, solved, raw_average, simplified_average))
+            measured[label] = (raw_total, simplified_total)
+        print()
+        print(format_table(
+            ["sample", "solved", "avg raw", "avg simplified"], rows,
+            title="Ablation: template post-processing",
+        ))
+        return measured
+
+    measured = once(run)
+    for label, (raw_total, simplified_total) in measured.items():
+        # Templates never lengthen a circuit (paper: they shorten the
+        # average slightly).
+        assert simplified_total <= raw_total, label

@@ -1,0 +1,55 @@
+"""Figures 1-9 — regenerate every figure's content and check its facts.
+
+Fig. 1/3(d): the running example and its 3-gate circuit; Fig. 2/8: the
+adder embedding and 4-gate circuit; Fig. 5/6: the search trace and the
+extended substitution set; Fig. 7: Example 1's 4-gate cascade; Fig. 9:
+the alu table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def bench_figures(once):
+    def regenerate():
+        return {
+            "fig1_3d": figures.figure1_and_3d(),
+            "fig2_8": figures.figure2_and_8(),
+            "fig5": figures.figure5_trace(),
+            "fig6": figures.figure6_substitutions(),
+            "fig7": figures.figure7_example1(),
+            "fig9": figures.figure9_alu(),
+        }
+
+    rendered = once(regenerate)
+    for name, text in rendered.items():
+        print()
+        print(text)
+        print("-" * 72)
+
+    # Fig. 1 / 3(d): equation (3) and the 3-gate realization.
+    assert "b + ab + ac" in rendered["fig1_3d"]
+    assert "3 gates" in rendered["fig1_3d"]
+
+    # Fig. 2 / 8: one garbage output, one constant input, 4 gates.
+    assert "1 garbage output(s), 1 constant input(s), 4 lines" in (
+        rendered["fig2_8"]
+    )
+    assert "4 gates" in rendered["fig2_8"]
+
+    # Fig. 5: the trace starts by popping the root and finds depth 3.
+    assert "pop node 0" in rendered["fig5"]
+    assert "depth 3" in rendered["fig5"]
+
+    # Fig. 6: exactly the substitutions the paper lists.
+    for substitution in ("a = a + 1", "b = b + c", "b = b + ac",
+                         "c = c + b", "c = c + ab", "b = b + 1",
+                         "c = c + 1"):
+        assert substitution in rendered["fig6"]
+
+    # Fig. 7: four gates for Example 1.
+    assert "4 gates" in rendered["fig7"]
+
+    # Fig. 9: all eight alu rows.
+    assert rendered["fig9"].count("|") >= 9

@@ -1,0 +1,28 @@
+"""Table II — random four-variable reversible functions.
+
+Paper: 50 000 random functions, 60 s budget, max 40 gates, greedy
+pruning; all synthesized, sizes 2-19 peaking at 10.  The bench keeps
+the protocol at a sampled scale; the pure-Python step budget yields
+larger circuits than the paper's 60 CPU-seconds of 2004 C code, so the
+shape assertions target solve rate and distribution bounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import scaled
+from repro.experiments.table23 import render_table2, run_random_functions
+
+
+def bench_table2(once):
+    result = once(run_random_functions, 4, scaled(6), seed=2004)
+    print()
+    print(render_table2(result))
+
+    # Paper: all four-variable functions synthesized.
+    assert result.failure_rate() <= 0.25
+    if result.histogram:
+        sizes = sorted(result.histogram)
+        # All results respect the protocol's 40-gate cap.
+        assert sizes[-1] <= 40
+        # Nontrivial sharing: far below the ~31-term naive bound.
+        assert result.average_size() <= 34

@@ -1,0 +1,38 @@
+"""Table V — random circuits with maximum gate count 15, 6-16 variables.
+
+Paper: 500 samples per variable count; failure rates 0-4.6%, realized
+sizes concentrated in the 1-15 buckets.  The bench samples a subset of
+variable counts (full sweep: ``rmrls scalability --max-gates 15``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import scaled
+from repro.experiments.table567 import render_scalability, run_scalability
+
+VARIABLES = [6, 8, 10]
+
+
+def bench_table5(once):
+    results = once(
+        run_scalability, 15, variables=VARIABLES, samples=scaled(4),
+        seed=2004,
+    )
+    print()
+    print(render_scalability(15, results))
+
+    total = 0
+    solved = 0
+    for num_vars, result in results.items():
+        assert result.attempted == scaled(4)
+        total += result.attempted
+        solved += result.solved
+        for size in result.histogram:
+            # The driver accepts solutions up to its 45-gate cap.
+            assert size <= 45
+    # Table V's worst failure rate is 4.6%; the Python step budget (a
+    # small fraction of the paper's 60 CPU-seconds of 2004 C code)
+    # fails more often — the rendered table reports the honest rates,
+    # and the assertion only guards against total collapse across the
+    # sweep.
+    assert solved >= 1, "no random circuit synthesized at any width" 

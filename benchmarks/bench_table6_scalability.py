@@ -1,0 +1,29 @@
+"""Table VI — random circuits with maximum gate count 20, 6-16 variables.
+
+Paper: 1 000 samples per variable count; failure rates grow from 0.1%
+(6 vars) to ~16% (15-16 vars) — harder than Table V's 15-gate setting.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import scaled
+from repro.experiments.table567 import render_scalability, run_scalability
+
+VARIABLES = [6, 8, 10]
+
+
+def bench_table6(once):
+    results = once(
+        run_scalability, 20, variables=VARIABLES, samples=scaled(4),
+        seed=2004,
+    )
+    print()
+    print(render_scalability(20, results))
+
+    total_failed = sum(result.failed for result in results.values())
+    total = sum(result.attempted for result in results.values())
+    assert total == len(VARIABLES) * scaled(4)
+    # The paper's aggregate failure rate at 20 gates is ~8%; the
+    # reduced step budget fails more often — guard against total
+    # collapse only.
+    assert total_failed < total, "no random circuit synthesized" 

@@ -1,0 +1,41 @@
+"""Table VII — random circuits with maximum gate count 25, 6-16 variables.
+
+Paper: 1 000 samples per variable count; the hardest setting, with
+failure rates up to 45.2% (15 vars) yet "more than half" synthesizing
+overall.  The bench additionally checks the crossover the three
+scalability tables establish: failures grow with the gate cap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SCALABILITY_OPTIONS, scaled
+from repro.experiments.table567 import render_scalability, run_scalability
+
+VARIABLES = [6, 8]
+
+
+def bench_table7(once):
+    def run_both():
+        easy = run_scalability(
+            15, variables=VARIABLES, samples=scaled(4), seed=77,
+        )
+        hard = run_scalability(
+            25, variables=VARIABLES, samples=scaled(4), seed=77,
+        )
+        return easy, hard
+
+    easy, hard = once(run_both)
+    print()
+    print(render_scalability(25, hard))
+
+    total = len(VARIABLES) * scaled(4)
+    easy_failed = sum(result.failed for result in easy.values())
+    hard_failed = sum(result.failed for result in hard.values())
+    # The paper's shape: the 25-gate setting fails at least as often
+    # as the 15-gate setting (Table VII vs Table V); one function of
+    # slack absorbs small-sample noise.
+    assert hard_failed >= easy_failed - 1
+    # "It is comforting to see that the algorithm can still quickly
+    # synthesize more than half of the circuits" — the paper's claim at
+    # its budget; at ours the rendered table reports the honest rates
+    # and the assertions above pin the monotone trend.

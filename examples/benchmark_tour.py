@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Tour of the benchmark suite (Table IV).
+
+Synthesizes a handful of named benchmarks with the paper's greedy
+option, verifies every circuit, and prints gate counts and quantum
+costs next to the numbers published in Table IV.
+
+Run:  python examples/benchmark_tour.py [benchmark ...]
+"""
+
+import sys
+
+from repro.benchlib import benchmark, benchmark_names
+from repro.experiments.paper_data import TABLE4
+from repro.postprocess import simplify
+from repro.synth import SynthesisOptions, synthesize
+from repro.utils.tables import format_table
+
+DEFAULT_NAMES = [
+    "3_17", "rd32", "xor5", "4mod5", "graycode6", "6one135", "adder",
+    "majority3", "decod24",
+]
+
+OPTIONS = SynthesisOptions(
+    greedy_k=3, restart_steps=5_000, max_steps=30_000,
+    dedupe_states=True, max_gates=70,
+)
+
+
+def main(names: list[str]) -> None:
+    rows = []
+    for name in names:
+        spec = benchmark(name)
+        result = synthesize(spec.pprm(), OPTIONS)
+        if not result.solved:
+            rows.append((name, spec.num_lines, None, None, None, None))
+            continue
+        circuit = result.circuit
+        if spec.num_lines <= 12:
+            reduced = simplify(circuit)
+            if spec.verify(reduced):
+                circuit = reduced
+        assert spec.verify(circuit), name
+        paper = TABLE4.get(name)
+        rows.append(
+            (
+                name,
+                spec.num_lines,
+                circuit.gate_count(),
+                circuit.quantum_cost(),
+                paper[2] if paper else None,
+                paper[3] if paper else None,
+            )
+        )
+    print(format_table(
+        ["benchmark", "lines", "gates", "cost", "paper gates", "paper cost"],
+        rows,
+        title="Benchmark tour (paper numbers from Table IV)",
+    ))
+    print()
+    print("all benchmarks:", ", ".join(benchmark_names()))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_NAMES)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Technology mapping: big Toffoli gates to the NCT library.
+
+RMRLS targets the GT library (Sec. I), and an n-bit Toffoli with n > 3
+"will have a high technological cost" (Sec. II-D).  This example
+synthesizes a shifter with large gates, decomposes every oversized gate
+into 3-bit Toffolis (Barenco et al. [12]), and compares gate counts and
+quantum costs before and after.
+
+Run:  python examples/nct_mapping.py
+"""
+
+from repro.benchlib.generators import controlled_shifter
+from repro.circuits import decompose_circuit
+from repro.postprocess import cancel_duplicates
+from repro.synth import SynthesisOptions, synthesize
+
+
+def main() -> None:
+    spec = controlled_shifter(6)  # 8 lines: 6 data + 2 control
+    result = synthesize(
+        spec.to_pprm(),
+        SynthesisOptions(
+            greedy_k=3, restart_steps=5_000, max_steps=40_000,
+            dedupe_states=True,
+        ),
+    )
+    assert result.solved, "shifter failed to synthesize"
+    circuit = result.circuit
+    assert circuit.implements(spec)
+
+    print(f"GT circuit:  {circuit.gate_count()} gates, largest gate "
+          f"TOF{circuit.max_gate_size()}, quantum cost "
+          f"{circuit.quantum_cost()}")
+    print(circuit)
+    print()
+
+    nct = cancel_duplicates(decompose_circuit(circuit))
+    assert nct.implements(spec)
+    assert nct.max_gate_size() <= 3
+
+    print(f"NCT circuit: {nct.gate_count()} gates, quantum cost "
+          f"{nct.quantum_cost()}")
+    print()
+    print("The NCT cascade trades gate count for realizability: each "
+          "m-control Toffoli became ~4(m-2) 3-bit gates (Barenco "
+          "Lemma 7.2), which is exactly the macro expansion Sec. II-D "
+          "anticipates for large gates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: synthesize a reversible specification with RMRLS.
+
+Reproduces the paper's running example (Fig. 1 / Fig. 3(d)): the
+three-variable function {1, 0, 7, 2, 3, 4, 5, 6} synthesizes into the
+cascade TOF1(a) TOF3(a, c, b) TOF3(a, b, c).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Permutation, draw_circuit, synthesize
+from repro.pprm import format_system
+
+
+def main() -> None:
+    # A reversible function is a permutation of {0, ..., 2^n - 1}; the
+    # paper writes it as an image list (Fig. 1).
+    spec = Permutation([1, 0, 7, 2, 3, 4, 5, 6])
+    print("specification:", spec)
+    print()
+
+    # RMRLS works on the PPRM expansion (equation (3) of the paper).
+    print("PPRM expansion:")
+    print(format_system(spec.to_pprm()))
+    print()
+
+    # Synthesize.  The default options run the basic best-first search;
+    # see repro.synth.SynthesisOptions for the paper's heuristics.
+    result = synthesize(spec)
+    assert result.solved and result.verify(spec)
+
+    print(f"synthesized {result.gate_count} gates "
+          f"(searched {result.stats.nodes_created} nodes in "
+          f"{result.stats.elapsed_seconds * 1000:.1f} ms):")
+    print(result.circuit)
+    print()
+    print(draw_circuit(result.circuit))
+    print()
+    print("quantum cost:", result.circuit.quantum_cost())
+
+
+if __name__ == "__main__":
+    main()

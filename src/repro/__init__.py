@@ -1,0 +1,83 @@
+"""RMRLS — Reed-Muller Reversible Logic Synthesis.
+
+A from-scratch reproduction of Gupta, Agrawal, and Jha, "An Algorithm
+for Synthesis of Reversible Logic Circuits" (TCAD 2006; DATE 2004).
+
+Quickstart::
+
+    from repro import Permutation, synthesize
+
+    spec = Permutation([1, 0, 7, 2, 3, 4, 5, 6])   # paper Fig. 1
+    result = synthesize(spec)
+    print(result.circuit)            # TOF1(a) TOF3(a, c, b) TOF3(a, b, c)
+    assert result.circuit.implements(spec)
+
+Package map: :mod:`repro.pprm` (Reed-Muller algebra), :mod:`repro.synth`
+(the RMRLS search), :mod:`repro.functions` (specifications and
+embeddings), :mod:`repro.gates` / :mod:`repro.circuits` (netlists),
+:mod:`repro.baselines` (comparison methods), :mod:`repro.postprocess`
+(templates, Fredkin extraction), :mod:`repro.benchlib` (the Table IV
+suite), :mod:`repro.io` (RevLib/PLA files), :mod:`repro.experiments`
+(table and figure drivers).
+"""
+
+__version__ = "1.0.0"
+
+from repro.circuits import (
+    Circuit,
+    decompose_circuit,
+    draw_circuit,
+    equivalent,
+)
+from repro.functions import (
+    Permutation,
+    TruthTable,
+    embed,
+    synthesize_with_dont_cares,
+)
+from repro.gates import GT, NCT, NCTS, FredkinGate, ToffoliGate
+from repro.pprm import Expansion, PPRMSystem, parse_system
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "decompose_circuit",
+    "draw_circuit",
+    "equivalent",
+    "Permutation",
+    "TruthTable",
+    "embed",
+    "synthesize_with_dont_cares",
+    "GT",
+    "NCT",
+    "NCTS",
+    "FredkinGate",
+    "ToffoliGate",
+    "Expansion",
+    "PPRMSystem",
+    "parse_system",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "synthesize",
+    "synthesize_ncts",
+    "simplify",
+]
+
+_LAZY = {
+    "SynthesisOptions": ("repro.synth", "SynthesisOptions"),
+    "SynthesisResult": ("repro.synth", "SynthesisResult"),
+    "synthesize": ("repro.synth", "synthesize"),
+    "synthesize_ncts": ("repro.synth", "synthesize_ncts"),
+    "simplify": ("repro.postprocess", "simplify"),
+}
+
+
+def __getattr__(name):
+    # Synthesis entry points import lazily: `import repro` stays cheap
+    # and the package initialization order stays cycle-free.
+    if name in _LAZY:
+        import importlib
+
+        module_name, attribute = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,186 @@
+"""Spectral translation-based synthesis — Miller and Dueck [18].
+
+The third prior method the paper surveys (Sec. III): "At any given
+stage, the circuit is synthesized from inputs to outputs or vice versa
+depending upon the best translation (i.e., an application of a
+generalized n-bit Toffoli gate) that is possible.  The best translation
+is determined to be that which results in the maximum positive change
+in the complexity measure of the function.  Because there is no
+backtracking or look-ahead, an error is declared if no translation can
+be found."
+
+This implementation uses the Rademacher-Walsh complexity measure from
+:mod:`repro.functions.spectral` and greedily applies the best
+output-side or input-side GT gate until the residual function is the
+identity (success) or no gate improves the measure (declared error,
+exactly as [18] describes).  It is a *survey* baseline: the paper only
+quotes [18]'s published rd53 spec, so no quantitative obligations
+attach, but having the method runnable lets the ablation benches
+compare search strategies end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.functions.spectral import walsh_hadamard_transform
+from repro.gates.library import GT, GateLibrary
+from repro.gates.toffoli import ToffoliGate
+
+__all__ = ["SpectralOutcome", "spectral_synthesize", "complexity_of"]
+
+
+def complexity_of(images: list[int], num_vars: int) -> int:
+    """Spectral distance from the identity function.
+
+    Sums, over all outputs and all Rademacher-Walsh coefficients, the
+    absolute difference to the identity's spectra (output ``i`` of the
+    identity concentrates its whole spectrum on the first-order
+    coefficient of ``x_i``).  The measure is zero exactly on the
+    identity and strictly positive elsewhere, and — unlike an
+    order-weighted magnitude sum — it distinguishes polarity, so NOT
+    translations make progress.  [18]'s exact measure is not published
+    in reproducible detail; this distance drives the same greedy
+    scheme.
+    """
+    size = len(images)
+    total = 0
+    for output in range(num_vars):
+        signed = [1 - 2 * (images[m] >> output & 1) for m in range(size)]
+        spectrum = walsh_hadamard_transform(signed)
+        for mask, coefficient in enumerate(spectrum):
+            reference = size if mask == (1 << output) else 0
+            total += abs(coefficient - reference)
+    return total
+
+
+@dataclass
+class SpectralOutcome:
+    """Result of a spectral synthesis run.
+
+    ``error`` is ``True`` when the method got stuck (no gate improved
+    the measure) — [18]'s declared error; the paper notes the authors
+    "are working on a formal proof" that this never happens given
+    enough effort.
+    """
+
+    circuit: Circuit | None
+    error: bool
+    steps: int
+    final_complexity: int
+
+    @property
+    def solved(self) -> bool:
+        """True when the greedy walk reached the identity."""
+        return self.circuit is not None
+
+
+def _identity_complexity(num_vars: int) -> int:
+    return complexity_of(list(range(1 << num_vars)), num_vars)
+
+
+def spectral_synthesize(
+    specification: Permutation,
+    library: GateLibrary = GT,
+    max_gates: int = 200,
+    plateau_tolerance: int = 3,
+) -> SpectralOutcome:
+    """Greedy spectral synthesis of ``specification``.
+
+    At each stage every library gate is tried on both the output side
+    (composing ``g o f``) and the input side (``f o g``); the
+    application with the largest complexity decrease wins (output side
+    on ties).  Gates accumulate into a circuit for ``f``; input-side
+    gates attach at the circuit's inputs, output-side gates (inverted,
+    i.e. themselves) at the outputs.
+
+    ``plateau_tolerance`` permits up to that many *consecutive*
+    equal-complexity moves (never worsening ones, and never revisiting
+    a state) before declaring the error; [18] as described has no such
+    slack, and ``plateau_tolerance=0`` reproduces that behaviour.
+    """
+    num_vars = specification.num_vars
+    size = 1 << num_vars
+    gates = [
+        gate for gate in library.gates(num_vars)
+        if isinstance(gate, ToffoliGate)
+    ]
+    images = list(specification.images)
+    input_segment: list[ToffoliGate] = []
+    output_segment: list[ToffoliGate] = []
+    complexity = complexity_of(images, num_vars)
+    target = _identity_complexity(num_vars)
+    steps = 0
+    plateau_used = 0
+    visited: set[tuple[int, ...]] = {tuple(images)}
+
+    while steps < max_gates:
+        if images == list(range(size)):
+            circuit_gates = list(input_segment) + list(
+                reversed(output_segment)
+            )
+            circuit = Circuit(num_vars, circuit_gates)
+            if not circuit.implements(specification):  # pragma: no cover
+                raise AssertionError("spectral synthesis stitched badly")
+            return SpectralOutcome(
+                circuit=circuit,
+                error=False,
+                steps=steps,
+                final_complexity=target,
+            )
+
+        best = None
+        for gate in gates:
+            # Output side: new_f = g o f.
+            candidate = [gate.apply(word) for word in images]
+            if tuple(candidate) not in visited:
+                value = complexity_of(candidate, num_vars)
+                if best is None or value < best[0]:
+                    best = (value, "out", gate, candidate)
+            # Input side: new_f = f o g.
+            candidate = [images[gate.apply(m)] for m in range(size)]
+            if tuple(candidate) not in visited:
+                value = complexity_of(candidate, num_vars)
+                if best is None or value < best[0]:
+                    best = (value, "in", gate, candidate)
+
+        if best is None:
+            return SpectralOutcome(
+                circuit=None, error=True, steps=steps,
+                final_complexity=complexity,
+            )
+        value, side, gate, candidate = best
+        if value > complexity:
+            # No translation improves (or holds) the measure: error.
+            return SpectralOutcome(
+                circuit=None,
+                error=True,
+                steps=steps,
+                final_complexity=complexity,
+            )
+        if value == complexity:
+            plateau_used += 1
+            if plateau_used > plateau_tolerance:
+                return SpectralOutcome(
+                    circuit=None,
+                    error=True,
+                    steps=steps,
+                    final_complexity=complexity,
+                )
+        else:
+            plateau_used = 0
+        complexity = value
+        images = candidate
+        visited.add(tuple(candidate))
+        steps += 1
+        if side == "out":
+            output_segment.append(gate)
+        else:
+            # f_new = f o g  =>  f = f_new o g^-1: g sits at the inputs.
+            input_segment.append(gate)
+
+    return SpectralOutcome(
+        circuit=None, error=False, steps=steps, final_complexity=complexity
+    )

@@ -1,0 +1,18 @@
+"""Benchmark functions: the paper's verbatim specs plus parametric
+families."""
+
+from repro.benchlib import generators
+from repro.benchlib.specs import (
+    BenchmarkSpec,
+    all_benchmarks,
+    benchmark,
+    benchmark_names,
+)
+
+__all__ = [
+    "generators",
+    "BenchmarkSpec",
+    "all_benchmarks",
+    "benchmark",
+    "benchmark_names",
+]

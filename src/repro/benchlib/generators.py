@@ -1,0 +1,315 @@
+"""Parametric benchmark families (Sec. V-C/V-D).
+
+Every function here returns a validated
+:class:`~repro.functions.permutation.Permutation`.  Families whose
+complete specification the paper prints are checked verbatim against it
+in the test suite; families the paper only names are reconstructed from
+their standard definitions, with the convention documented on each
+generator (and in DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.functions.embedding import embed
+from repro.functions.permutation import Permutation
+from repro.functions.truth_table import TruthTable
+from repro.utils.bitops import bit
+
+__all__ = [
+    "wraparound_shift",
+    "controlled_shifter",
+    "graycode",
+    "mod_adder",
+    "modk_zero_detector",
+    "hidden_weighted_bit",
+    "ones_count_membership",
+    "parity_function",
+    "majority_function",
+    "weight_counter",
+    "two_of_five",
+    "decoder_2to4",
+    "hamming_encoder",
+    "alu_function",
+]
+
+
+def wraparound_shift(num_vars: int, positions: int) -> Permutation:
+    """Examples 2/6/7: value ``v`` maps to ``v + positions (mod 2^n)``.
+
+    Positive ``positions`` is the paper's "shift to the left" (the
+    image list ``{1, 2, ..., 0}``); negative shifts right.
+    """
+    size = 1 << num_vars
+    return Permutation(tuple((m + positions) % size for m in range(size)))
+
+
+def controlled_shifter(data_vars: int) -> Permutation:
+    """Example 14: two control lines select a 0-3 position shift.
+
+    Lines ``0..data_vars-1`` carry the data value ``v``; the top two
+    lines carry the shift amount ``s``, passed through unchanged; the
+    data becomes ``v + s (mod 2^data_vars)``.  ``shift10/15/28`` are
+    ``controlled_shifter(10/15/28)``.
+    """
+    if data_vars < 1:
+        raise ValueError("need at least one data line")
+    size = 1 << data_vars
+    images = []
+    for m in range(size << 2):
+        shift = m >> data_vars
+        value = m & (size - 1)
+        images.append((shift << data_vars) | ((value + shift) % size))
+    return Permutation(tuple(images))
+
+
+def graycode(num_vars: int) -> Permutation:
+    """Binary-to-Gray converter: ``y_i = x_i XOR x_{i+1}``; the top bit
+    passes through.  Realizable with ``n - 1`` CNOT gates (Table IV's
+    graycode6/10/20)."""
+    if num_vars < 1:
+        raise ValueError("need at least one variable")
+    return Permutation(
+        tuple(m ^ (m >> 1) for m in range(1 << num_vars))
+    )
+
+
+def mod_adder(bits: int, modulus: int) -> Permutation:
+    """``modKadder``: ``(a, b) -> (a, (a + b) mod K)`` on two
+    ``bits``-wide operands.
+
+    For a power-of-two modulus (mod32adder, mod64adder) the map is the
+    plain modular adder.  Otherwise (mod5adder, mod15adder) the sum is
+    reduced only when both operands are residues (< K); other rows pass
+    through, which keeps the function reversible — for fixed ``a < K``
+    the map ``b -> (a + b) mod K`` permutes the residues and fixes the
+    non-residues.  Operand ``a`` is the high half of the line bus.
+    """
+    if not 2 <= modulus <= (1 << bits):
+        raise ValueError(f"modulus {modulus} out of range for {bits} bits")
+    size = 1 << bits
+    images = []
+    for m in range(size * size):
+        a, b = m >> bits, m & (size - 1)
+        if a < modulus and b < modulus:
+            b = (a + b) % modulus
+        images.append((a << bits) | b)
+    return Permutation(tuple(images))
+
+
+def modk_zero_detector(bits: int, modulus: int) -> Permutation:
+    """``4mod5``/``5mod5``: one extra line is inverted when the
+    ``bits``-wide input is divisible by ``modulus``.
+
+    The data lines pass through; the detector line (the new top line)
+    XORs in the predicate — reversible by construction.
+    """
+    size = 1 << bits
+    images = []
+    for m in range(size << 1):
+        value = m & (size - 1)
+        flip = 1 if value % modulus == 0 else 0
+        images.append(m ^ (flip << bits))
+    return Permutation(tuple(images))
+
+
+def hidden_weighted_bit(num_vars: int) -> Permutation:
+    """``hwb_n``: the input rotated left by its own Hamming weight.
+
+    Rotation preserves weight, and within each weight class the
+    rotation amount is constant, so the map is a permutation — the
+    standard reversible hidden-weighted-bit benchmark.
+    """
+    size = 1 << num_vars
+    images = []
+    for m in range(size):
+        w = m.bit_count() % num_vars
+        rotated = ((m << w) | (m >> (num_vars - w))) & (size - 1) if w else m
+        images.append(rotated)
+    return Permutation(tuple(images))
+
+
+def ones_count_membership(num_vars: int, weights: frozenset[int] | set[int]) -> Permutation:
+    """``5one013``-style predicates: flip the top line iff the weight of
+    the *data* lines is in ``weights``.
+
+    The paper's own 5one013 spec embeds the predicate differently (it
+    permutes garbage outputs); the paper's verbatim table is kept in
+    :mod:`repro.benchlib.specs`, and this XOR embedding is the
+    documented reconstruction used for 5one245-style variants.  For
+    ``num_vars``-line functions the predicate reads the low
+    ``num_vars - 1`` lines.
+    """
+    data_vars = num_vars - 1
+    size = 1 << num_vars
+    images = []
+    for m in range(size):
+        weight = (m & ((1 << data_vars) - 1)).bit_count()
+        flip = 1 if weight in weights else 0
+        images.append(m ^ (flip << data_vars))
+    return Permutation(tuple(images))
+
+
+def parity_function(num_vars: int, invert: bool = False) -> Permutation:
+    """``xor5``/``6one135``/``6one0246``: the top line XORs in the
+    parity of the other lines (optionally complemented).
+
+    ``6one135`` is ``parity_function(6)`` (odd weights 1/3/5);
+    ``6one0246`` is ``parity_function(6, invert=True)``.
+    """
+    data_mask = (1 << (num_vars - 1)) - 1
+    size = 1 << num_vars
+    images = []
+    for m in range(size):
+        flip = (m & data_mask).bit_count() & 1
+        if invert:
+            flip ^= 1
+        images.append(m ^ (flip << (num_vars - 1)))
+    return Permutation(tuple(images))
+
+
+def majority_function(num_vars: int) -> Permutation:
+    """``majority3``-style reconstruction: embed the majority predicate
+    of all ``num_vars`` input lines into the top output line.
+
+    The embedding adds no lines: the majority value is balanced for odd
+    ``num_vars``, so a same-width reversible embedding exists; the
+    deterministic first-fit embedder chooses the garbage values.  (The
+    paper's majority5 uses its own embedding, kept verbatim in
+    :mod:`repro.benchlib.specs`.)
+    """
+    if num_vars % 2 == 0:
+        raise ValueError("majority needs an odd number of inputs")
+    threshold = num_vars // 2 + 1
+
+    def row(m: int) -> int:
+        return 1 if m.bit_count() >= threshold else 0
+
+    table = TruthTable.from_function(num_vars, 1, row)
+    return embed(table).permutation
+
+
+def weight_counter(num_inputs: int) -> Permutation:
+    """``rd32``/``rd53``-style: the binary count of ones in the inputs.
+
+    Uses the literature's embedding on the paper's exact line budget:
+    the low bit of the count is the input parity, computed in place on
+    the top input line; the carry bits (``weight >> 1``) are *added*
+    onto the constant lines above, which keeps the table bijective for
+    any constant values.  ``rd32`` is ``weight_counter(3)`` (4 lines,
+    1 constant), ``rd53`` is ``weight_counter(5)`` (7 lines, 2
+    constants) — matching Table IV's real/garbage input counts.
+    """
+    if num_inputs < 2:
+        raise ValueError("need at least two inputs")
+    carry_bits = num_inputs.bit_length() - 1
+    data_size = 1 << num_inputs
+    carry_size = 1 << carry_bits
+    top = num_inputs - 1
+    images = []
+    for m in range(data_size * carry_size):
+        data = m & (data_size - 1)
+        weight = data.bit_count()
+        carries = m >> num_inputs
+        parity_bit = weight & 1
+        out_data = (data & ~(1 << top)) | (parity_bit << top)
+        out_carries = (carries + (weight >> 1)) % carry_size
+        images.append((out_carries << num_inputs) | out_data)
+    return Permutation(tuple(images))
+
+
+def two_of_five() -> Permutation:
+    """``2of5``: one iff exactly two of the five inputs are one.
+
+    XOR-embedded onto one constant line above the five inputs (6 lines;
+    the published benchmark spends 7 lines — two constants — with a
+    different garbage assignment, noted in EXPERIMENTS.md).
+    """
+    images = []
+    for m in range(1 << 6):
+        predicate = 1 if (m & 0b11111).bit_count() == 2 else 0
+        images.append(m ^ (predicate << 5))
+    return Permutation(tuple(images))
+
+
+def decoder_2to4() -> Permutation:
+    """``decod24`` reconstruction: a 2:4 decoder on 4 lines.
+
+    The paper's verbatim spec lives in :mod:`repro.benchlib.specs`;
+    this generator rebuilds the same function from its definition (the
+    low two lines address the one-hot output word) and is tested to
+    agree with the verbatim table on the constant-input rows.
+    """
+    images = []
+    for m in range(16):
+        address = m & 3
+        constants = m >> 2
+        if constants == 0:
+            images.append(1 << address)
+        else:
+            # Don't-care rows: fill with the unused words in order.
+            images.append(-1)
+    spare = iter(
+        word for word in range(16) if word not in {1, 2, 4, 8}
+    )
+    images = [word if word >= 0 else next(spare) for word in images]
+    return Permutation(tuple(images))
+
+
+def hamming_encoder(data_bits: int = 4) -> Permutation:
+    """``ham7``-style reconstruction: the Hamming(7,4) encoder.
+
+    Parity lines (positions 0, 1, 3 for the classic code) XOR in the
+    code's parity checks over the data lines — a CNOT-only permutation.
+    The published ham# benchmarks are related but not identical
+    functions whose exact tables are not in the paper; EXPERIMENTS.md
+    flags the comparison as approximate.
+    """
+    if data_bits != 4:
+        raise ValueError("only the classic Hamming(7,4) layout is provided")
+    # Line layout (7 lines): 0..3 data d1..d4, 4..6 parity p1..p3.
+    checks = {
+        4: (0, 1, 3),  # p1 covers d1 d2 d4
+        5: (0, 2, 3),  # p2 covers d1 d3 d4
+        6: (1, 2, 3),  # p3 covers d2 d3 d4
+    }
+    images = []
+    for m in range(1 << 7):
+        word = m
+        for parity_line, data_lines in checks.items():
+            value = 0
+            for line in data_lines:
+                value ^= m >> line & 1
+            if value:
+                word ^= bit(parity_line)
+        images.append(word)
+    return Permutation(tuple(images))
+
+
+def alu_function() -> Permutation:
+    """Example 13: the ``alu`` benchmark rebuilt from Fig. 9.
+
+    Lines (LSB first): B, A, C2, C1, C0; the result F replaces the top
+    line via the paper's own embedding, reproduced verbatim in
+    :mod:`repro.benchlib.specs` — this generator re-derives the real
+    output column and is tested against that spec.
+    """
+    def f_value(m: int) -> int:
+        b = m & 1
+        a = m >> 1 & 1
+        c2 = m >> 2 & 1
+        c1 = m >> 3 & 1
+        c0 = m >> 4 & 1
+        selector = (c0 << 2) | (c1 << 1) | c2
+        return [
+            1,
+            a | b,
+            (1 - a) | (1 - b),
+            a ^ b,
+            1 - (a ^ b),
+            a & b,
+            (1 - a) & (1 - b),
+            0,
+        ][selector]
+
+    table = TruthTable.from_function(5, 1, f_value)
+    return embed(table).permutation

@@ -1,0 +1,32 @@
+"""Reversible circuits: cascades, drawing, random generation,
+decomposition."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.decompose import decompose_circuit, decompose_gate
+from repro.circuits.drawing import draw_circuit
+from repro.circuits.random_circuits import (
+    random_circuit,
+    random_circuit_specification,
+)
+from repro.circuits.profile import CircuitProfile, profile_circuit
+from repro.circuits.verify import (
+    PPRMBlowup,
+    circuit_matches_system,
+    equivalent,
+    symbolic_pprm,
+)
+
+__all__ = [
+    "Circuit",
+    "decompose_circuit",
+    "decompose_gate",
+    "draw_circuit",
+    "random_circuit",
+    "random_circuit_specification",
+    "CircuitProfile",
+    "profile_circuit",
+    "PPRMBlowup",
+    "circuit_matches_system",
+    "equivalent",
+    "symbolic_pprm",
+]

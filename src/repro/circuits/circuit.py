@@ -1,0 +1,233 @@
+"""Reversible circuits: cascades of reversible gates.
+
+Reversible circuits have no fanout and no feedback (Sec. I): a circuit
+is simply a sequence of gates applied left to right to a bus of
+``num_lines`` wires.  :class:`Circuit` is immutable; builders construct
+gate lists and call the constructor once.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.functions.permutation import Permutation
+from repro.gates.cost import DEFAULT_COST_MODEL, CostModel
+from repro.gates.fredkin import FredkinGate
+from repro.gates.toffoli import ToffoliGate
+
+__all__ = ["Circuit"]
+
+_GATE_TEXT = re.compile(
+    r"(?P<kind>TOF|FRE|SWAP|NOT|CNOT)(?P<size>\d*)\s*\((?P<args>[^)]*)\)"
+)
+
+
+class Circuit:
+    """An immutable cascade of reversible gates on ``num_lines`` wires."""
+
+    __slots__ = ("_gates", "_num_lines")
+
+    def __init__(self, num_lines: int, gates: Iterable = ()):
+        if num_lines < 1:
+            raise ValueError("a circuit needs at least one line")
+        gates = tuple(gates)
+        for gate in gates:
+            if not isinstance(gate, (ToffoliGate, FredkinGate)):
+                raise TypeError(
+                    f"unsupported gate type: {type(gate).__name__}"
+                )
+            if gate.min_lines() > num_lines:
+                raise ValueError(
+                    f"gate {gate} does not fit on {num_lines} lines"
+                )
+        self._gates = gates
+        self._num_lines = num_lines
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, num_lines: int, text: str) -> "Circuit":
+        """Parse the paper's cascade notation.
+
+        Example: ``"TOF3(c, a, b) TOF3(c, b, a) TOF1(a)"``.  ``NOT(a)``,
+        ``CNOT(a, b)``, ``SWAP(a, b)`` and ``FREn(...)`` are also
+        accepted.  The last argument(s) are the target(s), as in the
+        paper.
+        """
+        gates: list[ToffoliGate | FredkinGate] = []
+        position = 0
+        stripped = text.strip()
+        while position < len(stripped):
+            match = _GATE_TEXT.match(stripped, position)
+            if not match:
+                raise ValueError(
+                    f"unrecognized gate text at {stripped[position:]!r}"
+                )
+            names = [
+                part.strip()
+                for part in match.group("args").split(",")
+                if part.strip()
+            ]
+            kind = match.group("kind")
+            if kind in ("TOF", "NOT", "CNOT"):
+                gates.append(ToffoliGate.from_names(*names))
+            elif kind in ("FRE", "SWAP"):
+                gates.append(FredkinGate.from_names(*names))
+            position = match.end()
+            while position < len(stripped) and stripped[position] in " \t\n":
+                position += 1
+        return cls(num_lines, gates)
+
+    @classmethod
+    def identity(cls, num_lines: int) -> "Circuit":
+        """Return the empty circuit."""
+        return cls(num_lines, ())
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def num_lines(self) -> int:
+        """Number of wires."""
+        return self._num_lines
+
+    @property
+    def gates(self) -> tuple:
+        """The gate cascade, first-applied gate first."""
+        return self._gates
+
+    def gate_count(self) -> int:
+        """Number of gates (the paper's primary quality metric)."""
+        return len(self._gates)
+
+    def toffoli_gate_count(self) -> int:
+        """Number of gates after expanding Fredkin gates into Toffolis."""
+        total = 0
+        for gate in self._gates:
+            total += 3 if isinstance(gate, FredkinGate) else 1
+        return total
+
+    def max_gate_size(self) -> int:
+        """Largest gate size used (0 for the empty circuit)."""
+        return max((gate.size for gate in self._gates), default=0)
+
+    def quantum_cost(self, model: CostModel = DEFAULT_COST_MODEL) -> int:
+        """Total quantum cost under ``model`` (Sec. II-D)."""
+        return sum(
+            model.gate_cost(gate, self._num_lines) for gate in self._gates
+        )
+
+    # -- semantics ----------------------------------------------------------------
+
+    def apply(self, assignment: int) -> int:
+        """Run one assignment through the cascade."""
+        if not 0 <= assignment < (1 << self._num_lines):
+            raise ValueError(f"assignment {assignment} out of range")
+        for gate in self._gates:
+            assignment = gate.apply(assignment)
+        return assignment
+
+    def to_permutation(self) -> Permutation:
+        """Simulate the circuit into a reversible specification."""
+        return Permutation(
+            tuple(self.apply(m) for m in range(1 << self._num_lines))
+        )
+
+    def to_pprm(self):
+        """Build the circuit's PPRM system symbolically.
+
+        A gate with controls ``F`` and target ``t`` is the substitution
+        ``v_t := v_t XOR F``; substituting a gate into the system of a
+        function ``f`` yields the system of ``f o g``.  Folding the
+        cascade in reverse over the identity therefore produces this
+        circuit's own PPRM in time polynomial in the term count — no
+        2^n truth table needed, which is how wide specifications
+        (Tables V-VII at 16 variables, shift28 at 30 lines) stay
+        tractable.
+        """
+        from repro.pprm.system import PPRMSystem
+
+        system = PPRMSystem.identity(self._num_lines)
+        for gate in reversed(self.expand_fredkin().gates):
+            system = system.substitute(gate.target, gate.controls)
+        return system
+
+    def implements(self, specification: Permutation) -> bool:
+        """Check that the circuit realizes ``specification`` exactly."""
+        if specification.num_vars != self._num_lines:
+            return False
+        return all(
+            self.apply(m) == specification(m)
+            for m in range(1 << self._num_lines)
+        )
+
+    # -- structure ---------------------------------------------------------------------
+
+    def inverse(self) -> "Circuit":
+        """Return the inverse circuit: reversed gate order (every gate in
+        the NCT/NCTS/GT libraries is self-inverse)."""
+        return Circuit(
+            self._num_lines,
+            tuple(gate.inverse() for gate in reversed(self._gates)),
+        )
+
+    def then(self, other: "Circuit") -> "Circuit":
+        """Concatenate: ``self`` runs first, then ``other``."""
+        if other.num_lines != self._num_lines:
+            raise ValueError("cannot concatenate circuits of different width")
+        return Circuit(self._num_lines, self._gates + other._gates)
+
+    def appended(self, gate) -> "Circuit":
+        """Return a copy with ``gate`` appended at the outputs."""
+        return Circuit(self._num_lines, self._gates + (gate,))
+
+    def prepended(self, gate) -> "Circuit":
+        """Return a copy with ``gate`` inserted at the inputs."""
+        return Circuit(self._num_lines, (gate,) + self._gates)
+
+    def expand_fredkin(self) -> "Circuit":
+        """Rewrite every Fredkin/SWAP gate as three Toffoli gates."""
+        gates: list[ToffoliGate] = []
+        for gate in self._gates:
+            if isinstance(gate, FredkinGate):
+                gates.extend(gate.to_toffoli())
+            else:
+                gates.append(gate)
+        return Circuit(self._num_lines, gates)
+
+    def widened(self, num_lines: int) -> "Circuit":
+        """Return the same cascade on a wider bus."""
+        if num_lines < self._num_lines:
+            raise ValueError("cannot shrink a circuit")
+        return Circuit(num_lines, self._gates)
+
+    # -- dunder ---------------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self._num_lines, self._gates[index])
+        return self._gates[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_lines == other._num_lines and self._gates == other._gates
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_lines, self._gates))
+
+    def __str__(self) -> str:
+        if not self._gates:
+            return "(identity)"
+        return " ".join(str(gate) for gate in self._gates)
+
+    def __repr__(self) -> str:
+        return f"Circuit(num_lines={self._num_lines}, gates={str(self)!r})"

@@ -1,0 +1,99 @@
+"""Decomposition of large Toffoli gates into 3-bit Toffoli cascades.
+
+Sec. I notes that "other algorithms exist that can convert an n-bit
+Toffoli gate into a cascade of smaller Toffoli gates"; the classic
+constructions are Barenco et al. [12]:
+
+* with ``m - 2`` borrowed (dirty, restored) work lines, an m-control
+  Toffoli is a cascade of ``4(m - 2)`` 3-bit Toffolis (Lemma 7.2);
+* with a single borrowed line, the gate splits as ``A B A B`` where A
+  and B are roughly half-size Toffolis (Lemma 7.3), recursively
+  decomposed.
+
+An m-control Toffoli on exactly ``m + 1`` lines (no spare line) has no
+classical NCT realization, and :func:`decompose_gate` raises.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.gates.toffoli import ToffoliGate
+from repro.utils.bitops import bit, indices_of
+
+__all__ = ["decompose_gate", "decompose_circuit"]
+
+
+def _chain_network(
+    controls: list[int], target: int, work: list[int]
+) -> list[ToffoliGate]:
+    """Barenco Lemma 7.2 V-chain with ``len(controls) - 2`` work lines."""
+    m = len(controls)
+    top = ToffoliGate(bit(controls[m - 1]) | bit(work[m - 3]), target)
+    ladder = [
+        ToffoliGate(bit(controls[i + 1]) | bit(work[i - 1]), work[i])
+        for i in range(m - 3, 0, -1)
+    ]
+    bottom = ToffoliGate(bit(controls[0]) | bit(controls[1]), work[0])
+    half = [top, *ladder, bottom, *reversed(ladder)]
+    return half + half
+
+
+def decompose_gate(gate: ToffoliGate, num_lines: int) -> list[ToffoliGate]:
+    """Expand ``gate`` into 3-bit-or-smaller Toffoli gates.
+
+    Work lines are borrowed from the lines the gate does not touch; they
+    may carry arbitrary values and are always restored.  Raises
+    :class:`ValueError` when the gate has more than two controls and the
+    circuit offers no spare line.
+    """
+    if gate.min_lines() > num_lines:
+        raise ValueError(f"gate {gate} does not fit on {num_lines} lines")
+    if gate.size <= 3:
+        return [gate]
+
+    controls = list(indices_of(gate.controls))
+    free = [
+        line
+        for line in range(num_lines)
+        if not (gate.lines >> line) & 1
+    ]
+    if not free:
+        raise ValueError(
+            f"{gate} has no spare line on a {num_lines}-line circuit; "
+            "an m-control Toffoli (m >= 3) needs at least one borrowed line"
+        )
+    m = len(controls)
+    if len(free) >= m - 2:
+        return _chain_network(controls, gate.target, free[: m - 2])
+
+    # Lemma 7.3 split: A computes the AND of the first half of the
+    # controls onto a borrowed line w; B finishes the job; the ABAB
+    # pattern cancels the effect on w regardless of its initial value.
+    w = free[0]
+    k = (m + 1) // 2
+    first_half = 0
+    for control in controls[:k]:
+        first_half |= bit(control)
+    second_half = bit(w)
+    for control in controls[k:]:
+        second_half |= bit(control)
+    gate_a = ToffoliGate(first_half, w)
+    gate_b = ToffoliGate(second_half, gate.target)
+
+    expansion: list[ToffoliGate] = []
+    for part in (gate_a, gate_b, gate_a, gate_b):
+        expansion.extend(decompose_gate(part, num_lines))
+    return expansion
+
+
+def decompose_circuit(circuit: Circuit) -> Circuit:
+    """Rewrite ``circuit`` over the NCT library.
+
+    Fredkin/SWAP gates are first expanded into Toffolis, then every gate
+    with more than two controls is decomposed via :func:`decompose_gate`.
+    The result computes the same function on all lines.
+    """
+    gates: list[ToffoliGate] = []
+    for gate in circuit.expand_fredkin().gates:
+        gates.extend(decompose_gate(gate, circuit.num_lines))
+    return Circuit(circuit.num_lines, gates)

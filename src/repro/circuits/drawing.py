@@ -1,0 +1,99 @@
+"""ASCII circuit diagrams in the style of the paper's figures.
+
+Figures 3, 7 and 8 draw circuits with one horizontal wire per variable
+(most significant on top), a dot on each control line and an XOR symbol
+on the target line.  :func:`draw_circuit` renders the same picture in
+plain text::
+
+    c ----●----●--
+          |    |
+    b ----●---(+)-
+          |
+    a ---(+)---●--
+
+Fredkin targets are drawn as ``x`` marks.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.gates.fredkin import FredkinGate
+from repro.gates.toffoli import ToffoliGate
+from repro.pprm.term import variable_name
+
+__all__ = ["draw_circuit"]
+
+_CONTROL = "*"
+_TARGET = "(+)"
+_SWAP = "x"
+
+
+def _column_cells(gate, num_lines: int) -> list[str]:
+    """Return the per-line cell of one gate column, index 0 = line 0."""
+    cells = ["---"] * num_lines
+    if isinstance(gate, ToffoliGate):
+        involved = [gate.target]
+        for line in range(num_lines):
+            if gate.controls >> line & 1:
+                cells[line] = f"-{_CONTROL}-"
+                involved.append(line)
+        cells[gate.target] = _TARGET
+    elif isinstance(gate, FredkinGate):
+        involved = list(gate.targets)
+        for line in range(num_lines):
+            if gate.controls >> line & 1:
+                cells[line] = f"-{_CONTROL}-"
+                involved.append(line)
+        for target in gate.targets:
+            cells[target] = f"-{_SWAP}-"
+    else:  # pragma: no cover - Circuit validates gate types
+        raise TypeError(f"unsupported gate type: {type(gate).__name__}")
+    low, high = min(involved), max(involved)
+    for line in range(low + 1, high):
+        if cells[line] == "---":
+            cells[line] = "-|-"
+    return cells
+
+
+def draw_circuit(
+    circuit: Circuit, labels: list[str] | None = None
+) -> str:
+    """Render ``circuit`` as a multi-line ASCII diagram.
+
+    ``labels`` overrides the default wire names ``a``, ``b``, ... (index
+    0 first); the top row of the drawing is the highest-index wire, as
+    in the paper's figures.
+    """
+    num_lines = circuit.num_lines
+    if labels is None:
+        labels = [variable_name(i) for i in range(num_lines)]
+    if len(labels) != num_lines:
+        raise ValueError(
+            f"need {num_lines} labels, got {len(labels)}"
+        )
+    width = max(len(label) for label in labels)
+    columns = [_column_cells(gate, num_lines) for gate in circuit.gates]
+
+    rows = []
+    connector_rows = []
+    for line in reversed(range(num_lines)):
+        cells = "--".join(column[line] for column in columns)
+        prefix = f"{labels[line].rjust(width)} "
+        rows.append(f"{prefix}--{cells}--" if columns else f"{prefix}----")
+        connectors = []
+        for column in columns:
+            # Draw the vertical link between wires when both this line's
+            # cell and the one below are on the gate's span.
+            on_span = column[line] != "---"
+            below_on_span = line > 0 and column[line - 1] != "---"
+            connectors.append(" | " if on_span and below_on_span else "   ")
+        connector_rows.append(
+            " " * (width + 1) + "  " + "  ".join(connectors)
+        )
+
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(row)
+        if index < len(rows) - 1:
+            lines.append(connector_rows[index].rstrip())
+    return "\n".join(lines)

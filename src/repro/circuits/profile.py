@@ -1,0 +1,94 @@
+"""Circuit profiling: composition and cost breakdowns.
+
+Table IV reports gate counts and total quantum cost; when comparing
+realizations it is often the *composition* that explains a difference
+(one TOF5 costs as much as five TOF3s).  :func:`profile_circuit`
+aggregates a cascade by gate size and renders the breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+from repro.gates.cost import DEFAULT_COST_MODEL, CostModel
+from repro.gates.fredkin import FredkinGate
+from repro.gates.toffoli import ToffoliGate
+from repro.utils.bitops import bit
+from repro.utils.tables import format_table
+
+__all__ = ["CircuitProfile", "profile_circuit"]
+
+
+@dataclass
+class CircuitProfile:
+    """Aggregate statistics of one circuit."""
+
+    num_lines: int
+    gate_count: int
+    quantum_cost: int
+    toffoli_by_size: dict[int, int] = field(default_factory=dict)
+    fredkin_by_size: dict[int, int] = field(default_factory=dict)
+    cost_by_size: dict[int, int] = field(default_factory=dict)
+    line_activity: list[int] = field(default_factory=list)
+
+    @property
+    def max_gate_size(self) -> int:
+        """Largest gate size present (0 if empty)."""
+        sizes = list(self.toffoli_by_size) + list(self.fredkin_by_size)
+        return max(sizes, default=0)
+
+    def busiest_line(self) -> int | None:
+        """Line touched by the most gates (``None`` for empty circuits)."""
+        if not any(self.line_activity):
+            return None
+        return max(
+            range(self.num_lines), key=lambda line: self.line_activity[line]
+        )
+
+    def render(self) -> str:
+        """Human-readable breakdown table."""
+        rows = []
+        for size in sorted(set(self.toffoli_by_size) | set(self.fredkin_by_size)):
+            rows.append(
+                (
+                    f"TOF{size}" if size in self.toffoli_by_size else f"FRE{size}",
+                    self.toffoli_by_size.get(size, 0)
+                    + self.fredkin_by_size.get(size, 0),
+                    self.cost_by_size.get(size, 0),
+                )
+            )
+        rows.append(("total", self.gate_count, self.quantum_cost))
+        return format_table(
+            ["gate", "count", "cost"],
+            rows,
+            title=f"circuit profile ({self.num_lines} lines)",
+        )
+
+
+def profile_circuit(
+    circuit: Circuit, model: CostModel = DEFAULT_COST_MODEL
+) -> CircuitProfile:
+    """Aggregate ``circuit`` by gate size with per-size cost totals."""
+    profile = CircuitProfile(
+        num_lines=circuit.num_lines,
+        gate_count=circuit.gate_count(),
+        quantum_cost=circuit.quantum_cost(model),
+        line_activity=[0] * circuit.num_lines,
+    )
+    for gate in circuit.gates:
+        cost = model.gate_cost(gate, circuit.num_lines)
+        if isinstance(gate, FredkinGate):
+            table = profile.fredkin_by_size
+        elif isinstance(gate, ToffoliGate):
+            table = profile.toffoli_by_size
+        else:  # pragma: no cover - Circuit validates gate types
+            raise TypeError(type(gate).__name__)
+        table[gate.size] = table.get(gate.size, 0) + 1
+        profile.cost_by_size[gate.size] = (
+            profile.cost_by_size.get(gate.size, 0) + cost
+        )
+        for line in range(circuit.num_lines):
+            if gate.lines & bit(line):
+                profile.line_activity[line] += 1
+    return profile

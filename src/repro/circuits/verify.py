@@ -1,0 +1,124 @@
+"""Equivalence checking for reversible circuits.
+
+Three strategies, in decreasing strength:
+
+* **exhaustive** — simulate both circuits on every assignment
+  (up to ~20 lines);
+* **symbolic** — compare the circuits' PPRM systems, built by folding
+  gate substitutions over the identity (exact at *any* width as long as
+  the intermediate expansions stay small — true for the structured
+  wide benchmarks like shift28, guarded by a term cap otherwise);
+* **sampled** — random assignments (a Monte-Carlo check for
+  adversarially wide, PPRM-dense circuits).
+
+:func:`equivalent` tries them in that order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.circuit import Circuit
+from repro.pprm.system import PPRMSystem
+
+__all__ = [
+    "PPRMBlowup",
+    "symbolic_pprm",
+    "equivalent",
+    "circuit_matches_system",
+]
+
+#: Default bound on intermediate PPRM size during symbolic folding.
+DEFAULT_TERM_CAP = 20_000
+
+#: Width at which exhaustive simulation is abandoned.
+EXHAUSTIVE_LIMIT = 16
+
+
+class PPRMBlowup(RuntimeError):
+    """Raised when symbolic folding exceeds the term cap."""
+
+
+def symbolic_pprm(
+    circuit: Circuit, max_terms: int = DEFAULT_TERM_CAP
+) -> PPRMSystem:
+    """Fold the circuit into its PPRM system, guarding against blowup.
+
+    Identical to :meth:`Circuit.to_pprm` but raises :class:`PPRMBlowup`
+    once the intermediate system exceeds ``max_terms`` terms, so
+    callers can fall back to sampling.
+    """
+    system = PPRMSystem.identity(circuit.num_lines)
+    for gate in reversed(circuit.expand_fredkin().gates):
+        system = system.substitute(gate.target, gate.controls)
+        if system.term_count() > max_terms:
+            raise PPRMBlowup(
+                f"intermediate PPRM grew past {max_terms} terms"
+            )
+    return system
+
+
+def _sampled_equal(first: Circuit, second: Circuit, samples: int,
+                   seed: int) -> bool:
+    rng = random.Random(seed)
+    size = 1 << first.num_lines
+    return all(
+        first.apply(x) == second.apply(x)
+        for x in (rng.randrange(size) for _ in range(samples))
+    )
+
+
+def equivalent(
+    first: Circuit,
+    second: Circuit,
+    samples: int = 4096,
+    max_terms: int = DEFAULT_TERM_CAP,
+    seed: int = 0,
+) -> bool:
+    """Decide whether two circuits compute the same function.
+
+    Exhaustive up to :data:`EXHAUSTIVE_LIMIT` lines; then exact symbolic
+    PPRM comparison; Monte-Carlo sampling only if the symbolic route
+    blows past ``max_terms``.
+    """
+    if first.num_lines != second.num_lines:
+        return False
+    if first.num_lines <= EXHAUSTIVE_LIMIT:
+        return all(
+            first.apply(x) == second.apply(x)
+            for x in range(1 << first.num_lines)
+        )
+    try:
+        return symbolic_pprm(first, max_terms) == symbolic_pprm(
+            second, max_terms
+        )
+    except PPRMBlowup:
+        return _sampled_equal(first, second, samples, seed)
+
+
+def circuit_matches_system(
+    circuit: Circuit,
+    system: PPRMSystem,
+    samples: int = 4096,
+    max_terms: int = DEFAULT_TERM_CAP,
+    seed: int = 0,
+) -> bool:
+    """Check a circuit against a PPRM specification.
+
+    Exact symbolic comparison first (this is how the 30-line shift28
+    result is verified exactly); sampled evaluation as the fallback.
+    """
+    if circuit.num_lines != system.num_vars:
+        return False
+    try:
+        return symbolic_pprm(circuit, max_terms) == system
+    except PPRMBlowup:
+        size = 1 << system.num_vars
+        rng = random.Random(seed)
+        if size <= samples:
+            assignments = range(size)
+        else:
+            assignments = (rng.randrange(size) for _ in range(samples))
+        return all(
+            circuit.apply(x) == system.evaluate(x) for x in assignments
+        )

@@ -1,0 +1,389 @@
+"""Command-line interface: the ``rmrls`` tool.
+
+Subcommands::
+
+    rmrls synth --spec "1,0,7,2,3,4,5,6"        # synthesize a permutation
+    rmrls synth --benchmark rd53 --draw         # synthesize a benchmark
+    rmrls benchmarks                            # list known benchmarks
+    rmrls table1 --sample 100                   # reproduce Table I
+    rmrls table2 --sample 20 / table3 --sample 10
+    rmrls table4 --names rd32,3_17
+    rmrls scalability --max-gates 15 --samples 5
+    rmrls examples                              # the 14 worked examples
+    rmrls figures                               # regenerate Figs. 1-9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchlib.specs import all_benchmarks, benchmark
+from repro.circuits.drawing import draw_circuit
+from repro.functions.permutation import Permutation
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+__all__ = ["main"]
+
+
+def _options_from_args(args) -> SynthesisOptions:
+    return SynthesisOptions(
+        greedy_k=args.greedy_k,
+        restart_steps=args.restart_steps,
+        max_steps=args.max_steps,
+        max_gates=args.max_gates,
+        time_limit=args.time_limit,
+        dedupe_states=not args.no_dedupe,
+    )
+
+
+def _add_option_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--greedy-k", type=int, default=None,
+                        help="greedy pruning width per variable (Sec. IV-E)")
+    parser.add_argument("--restart-steps", type=int, default=None,
+                        help="restart after this many steps without a solution")
+    parser.add_argument("--max-steps", type=int, default=100_000,
+                        help="total search step budget")
+    parser.add_argument("--max-gates", type=int, default=None,
+                        help="maximum circuit size accepted")
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--no-dedupe", action="store_true",
+                        help="disable the duplicate-state table")
+
+
+def _cmd_synth(args) -> int:
+    if bool(args.spec) == bool(args.benchmark):
+        print("exactly one of --spec or --benchmark is required",
+              file=sys.stderr)
+        return 2
+    permutation = None
+    if args.spec:
+        images = [int(part) for part in args.spec.replace(",", " ").split()]
+        permutation = Permutation(images)
+        system = permutation.to_pprm()
+        verify = lambda circuit: circuit.implements(permutation)
+    else:
+        entry = benchmark(args.benchmark)
+        permutation = entry.permutation
+        system = entry.pprm()
+        verify = entry.verify
+    if args.bidirectional:
+        if permutation is None:
+            print("--bidirectional needs an invertible (tabulated) spec",
+                  file=sys.stderr)
+            return 2
+        from repro.synth.bidirectional import synthesize_bidirectional
+
+        both = synthesize_bidirectional(
+            permutation, _options_from_args(args)
+        )
+        result = both.forward if both.direction == "forward" else (
+            both.inverse if both.inverse is not None else both.forward
+        )
+        if both.solved:
+            print(f"direction: {both.direction}")
+            result = type(result)(
+                circuit=both.circuit,
+                stats=result.stats,
+                options=result.options,
+                num_vars=result.num_vars,
+                trace=result.trace,
+            )
+    else:
+        result = synthesize(system, _options_from_args(args))
+    if result.circuit is None:
+        print(f"no circuit found within the budget "
+              f"({result.stats.steps} steps)")
+        return 1
+    assert verify(result.circuit), "synthesized circuit failed verification"
+    print(f"gates: {result.circuit.gate_count()}   "
+          f"quantum cost: {result.circuit.quantum_cost()}   "
+          f"steps: {result.stats.steps}   "
+          f"time: {result.stats.elapsed_seconds:.2f}s")
+    print(result.circuit)
+    if args.draw:
+        print()
+        print(draw_circuit(result.circuit))
+    return 0
+
+
+def _cmd_embed(args) -> int:
+    from repro.functions.dontcare import synthesize_with_dont_cares
+    from repro.io.pla import load_pla_table
+
+    with open(args.pla) as handle:
+        table = load_pla_table(handle.read())
+    print(f"{args.pla}: {table.num_inputs} inputs, {table.num_outputs} "
+          f"outputs, reversible={table.is_reversible()}")
+    result = synthesize_with_dont_cares(table, _options_from_args(args))
+    for name, gates in result.attempts:
+        print(f"  strategy {name:28s} -> "
+              f"{gates if gates is not None else 'unsolved'}")
+    if not result.solved:
+        print("no strategy produced a circuit within the budget")
+        return 1
+    print(f"best ({result.strategy.name}): "
+          f"{result.circuit.gate_count()} gates, quantum cost "
+          f"{result.circuit.quantum_cost()}")
+    print(result.circuit)
+    if args.draw:
+        print()
+        print(draw_circuit(result.circuit))
+    return 0
+
+
+def _load_circuit_arg(path: str):
+    from repro.io.real_format import load_real
+
+    with open(path) as handle:
+        return load_real(handle.read())
+
+
+def _cmd_draw(args) -> int:
+    circuit = _load_circuit_arg(args.real)
+    print(f"{args.real}: {circuit.num_lines} lines, "
+          f"{circuit.gate_count()} gates, quantum cost "
+          f"{circuit.quantum_cost()}")
+    print()
+    print(draw_circuit(circuit))
+    if args.profile:
+        from repro.circuits.profile import profile_circuit
+
+        print()
+        print(profile_circuit(circuit).render())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.circuits.verify import equivalent
+
+    first = _load_circuit_arg(args.first)
+    second = _load_circuit_arg(args.second)
+    same = equivalent(first, second)
+    print("EQUIVALENT" if same else "DIFFERENT")
+    return 0 if same else 1
+
+
+def _cmd_decompose(args) -> int:
+    from repro.circuits.decompose import decompose_circuit
+    from repro.io.real_format import dump_real
+    from repro.postprocess.templates import cancel_duplicates
+
+    circuit = _load_circuit_arg(args.real)
+    try:
+        nct = cancel_duplicates(decompose_circuit(circuit))
+    except ValueError as error:
+        print(f"cannot decompose: {error}", file=sys.stderr)
+        return 1
+    print(f"GT:  {circuit.gate_count()} gates, largest "
+          f"TOF{circuit.max_gate_size()}, cost {circuit.quantum_cost()}",
+          file=sys.stderr)
+    print(f"NCT: {nct.gate_count()} gates, cost {nct.quantum_cost()}",
+          file=sys.stderr)
+    print(dump_real(nct, header_comments=[f"NCT mapping of {args.real}"]),
+          end="")
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    from repro.utils.tables import format_table
+
+    rows = [
+        (spec.name, spec.num_lines, spec.real_inputs, spec.garbage_inputs,
+         spec.source, spec.description)
+        for spec in sorted(all_benchmarks().values(), key=lambda s: s.name)
+    ]
+    print(format_table(
+        ["name", "lines", "real", "garbage", "source", "description"], rows
+    ))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    sample = None if args.full else args.sample
+    print(render_table1(run_table1(sample=sample, seed=args.seed)))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments.table23 import render_table2, run_random_functions
+
+    result = run_random_functions(4, args.sample, seed=args.seed)
+    print(render_table2(result))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.experiments.table23 import render_table3, run_random_functions
+
+    result = run_random_functions(5, args.sample, seed=args.seed)
+    print(render_table3(result))
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    from repro.experiments.table4 import render_table4, run_table4
+
+    names = args.names.split(",") if args.names else None
+    print(render_table4(run_table4(names)))
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    from repro.experiments.table567 import render_scalability, run_scalability
+
+    variables = (
+        [int(v) for v in args.variables.split(",")] if args.variables else None
+    )
+    results = run_scalability(
+        args.max_gates, variables=variables, samples=args.samples,
+        seed=args.seed,
+    )
+    print(render_scalability(args.max_gates, results))
+    return 0
+
+
+def _cmd_examples(_args) -> int:
+    from repro.experiments.examples import render_examples, run_examples
+
+    print(render_examples(run_examples()))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(progress=lambda msg: print(f"... {msg}",
+                                                      file=sys.stderr))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figures(_args) -> int:
+    from repro.experiments import figures
+
+    for part in (
+        figures.figure1_and_3d(),
+        figures.figure2_and_8(),
+        figures.figure5_trace(),
+        figures.figure6_substitutions(),
+        figures.figure7_example1(),
+        figures.figure9_alu(),
+    ):
+        print(part)
+        print("\n" + "=" * 72 + "\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``rmrls`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="rmrls",
+        description="Reed-Muller reversible logic synthesis (reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    synth = commands.add_parser("synth", help="synthesize one function")
+    synth.add_argument("--spec", help="permutation, e.g. '1,0,7,2,3,4,5,6'")
+    synth.add_argument("--benchmark", help="named benchmark (see `benchmarks`)")
+    synth.add_argument("--draw", action="store_true",
+                       help="print an ASCII diagram")
+    synth.add_argument("--bidirectional", action="store_true",
+                       help="also try synthesizing the inverse function")
+    _add_option_flags(synth)
+    synth.set_defaults(handler=_cmd_synth)
+
+    commands.add_parser(
+        "benchmarks", help="list the benchmark suite"
+    ).set_defaults(handler=_cmd_benchmarks)
+
+    embed_cmd = commands.add_parser(
+        "embed",
+        help="embed an irreversible PLA and synthesize with the "
+             "don't-care strategy portfolio",
+    )
+    embed_cmd.add_argument("pla", help="path to a PLA truth-table file")
+    embed_cmd.add_argument("--draw", action="store_true")
+    _add_option_flags(embed_cmd)
+    embed_cmd.set_defaults(handler=_cmd_embed)
+
+    draw_cmd = commands.add_parser(
+        "draw", help="draw a RevLib .real circuit as ASCII"
+    )
+    draw_cmd.add_argument("real", help="path to a .real file")
+    draw_cmd.add_argument("--profile", action="store_true",
+                          help="print the per-gate-size breakdown")
+    draw_cmd.set_defaults(handler=_cmd_draw)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="equivalence-check two .real circuits"
+    )
+    verify_cmd.add_argument("first")
+    verify_cmd.add_argument("second")
+    verify_cmd.set_defaults(handler=_cmd_verify)
+
+    decompose_cmd = commands.add_parser(
+        "decompose",
+        help="map a .real circuit to the NCT library (stdout is .real)",
+    )
+    decompose_cmd.add_argument("real", help="path to a .real file")
+    decompose_cmd.set_defaults(handler=_cmd_decompose)
+
+    table1 = commands.add_parser("table1", help="reproduce Table I")
+    table1.add_argument("--sample", type=int, default=200)
+    table1.add_argument("--full", action="store_true",
+                        help="run all 40,320 functions")
+    table1.add_argument("--seed", type=int, default=2004)
+    table1.set_defaults(handler=_cmd_table1)
+
+    for name, handler, default_sample in (
+        ("table2", _cmd_table2, 30),
+        ("table3", _cmd_table3, 10),
+    ):
+        sub = commands.add_parser(name, help=f"reproduce Table {name[-1]}")
+        sub.add_argument("--sample", type=int, default=default_sample)
+        sub.add_argument("--seed", type=int, default=2004)
+        sub.set_defaults(handler=handler)
+
+    table4 = commands.add_parser("table4", help="reproduce Table IV")
+    table4.add_argument("--names", help="comma-separated benchmark names")
+    table4.set_defaults(handler=_cmd_table4)
+
+    scalability = commands.add_parser(
+        "scalability", help="reproduce Tables V-VII"
+    )
+    scalability.add_argument("--max-gates", type=int, default=15,
+                             help="15, 20, or 25 (the paper's settings)")
+    scalability.add_argument("--samples", type=int, default=10)
+    scalability.add_argument("--variables",
+                             help="comma-separated variable counts (6..16)")
+    scalability.add_argument("--seed", type=int, default=2004)
+    scalability.set_defaults(handler=_cmd_scalability)
+
+    commands.add_parser(
+        "examples", help="the 14 worked examples of Sec. V-C"
+    ).set_defaults(handler=_cmd_examples)
+    report = commands.add_parser(
+        "report", help="run every experiment and print a markdown report"
+    )
+    report.add_argument("--output", help="write the report to this file")
+    report.set_defaults(handler=_cmd_report)
+    commands.add_parser(
+        "figures", help="regenerate Figs. 1-9"
+    ).set_defaults(handler=_cmd_figures)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""ESOP covers and the mini-EXORCISM heuristic minimizer."""
+
+from repro.esop.convert import cube_to_terms, esop_to_pprm, pprm_to_esop
+from repro.esop.cover import EsopCover
+from repro.esop.cube import Cube
+from repro.esop.exorcism import exorlink_two, merge_distance_one, minimize
+
+__all__ = [
+    "cube_to_terms",
+    "esop_to_pprm",
+    "pprm_to_esop",
+    "EsopCover",
+    "Cube",
+    "exorlink_two",
+    "merge_distance_one",
+    "minimize",
+]

@@ -1,0 +1,129 @@
+"""ESOP covers: XOR sums of mixed-polarity cubes.
+
+An ESOP (EXOR sum-of-products) cover evaluates to the XOR of its cubes.
+Unlike the PPRM form it is not canonical — minimizing the number of
+cubes is the job of :mod:`repro.esop.exorcism`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.esop.cube import Cube
+
+__all__ = ["EsopCover"]
+
+
+class EsopCover:
+    """An immutable list of cubes combined by XOR."""
+
+    __slots__ = ("_cubes", "_num_vars")
+
+    def __init__(self, num_vars: int, cubes: Iterable[Cube] = ()):
+        if num_vars < 1:
+            raise ValueError("need at least one variable")
+        cubes = tuple(cubes)
+        limit = 1 << num_vars
+        for cube in cubes:
+            if cube.care >= limit:
+                raise ValueError(
+                    f"cube {cube} uses variables beyond num_vars={num_vars}"
+                )
+        self._cubes = cubes
+        self._num_vars = num_vars
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_truth_vector(cls, values: Sequence[int]) -> "EsopCover":
+        """Exact minterm cover of a truth vector (the starting point for
+        minimization)."""
+        num_vars = (len(values) - 1).bit_length()
+        if len(values) != 1 << num_vars or len(values) < 2:
+            raise ValueError("truth vector length must be a power of two >= 2")
+        cubes = [
+            Cube.minterm(assignment, num_vars)
+            for assignment, value in enumerate(values)
+            if value & 1
+        ]
+        return cls(num_vars, cubes)
+
+    @classmethod
+    def from_strings(cls, num_vars: int, lines: Iterable[str]) -> "EsopCover":
+        """Build a cover from PLA-style cube strings."""
+        return cls(num_vars, [Cube.from_string(line) for line in lines])
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables."""
+        return self._num_vars
+
+    @property
+    def cubes(self) -> tuple[Cube, ...]:
+        """The cube list."""
+        return self._cubes
+
+    def cube_count(self) -> int:
+        """Number of cubes — the minimization objective."""
+        return len(self._cubes)
+
+    def literal_total(self) -> int:
+        """Total literal count — the tie-break objective."""
+        return sum(cube.literal_count() for cube in self._cubes)
+
+    def evaluate(self, assignment: int) -> int:
+        """XOR of all cube values on ``assignment``."""
+        value = 0
+        for cube in self._cubes:
+            value ^= cube.evaluate(assignment)
+        return value
+
+    def truth_vector(self) -> list[int]:
+        """Tabulate the cover on every assignment."""
+        return [self.evaluate(m) for m in range(1 << self._num_vars)]
+
+    def equivalent_to(self, other: "EsopCover") -> bool:
+        """Functional equivalence check (exhaustive)."""
+        if other.num_vars != self._num_vars:
+            return False
+        return self.truth_vector() == other.truth_vector()
+
+    # -- rewriting -----------------------------------------------------------------
+
+    def with_cubes(self, cubes: Iterable[Cube]) -> "EsopCover":
+        """Return a cover over the same variables with new cubes."""
+        return EsopCover(self._num_vars, cubes)
+
+    def cancelled(self) -> "EsopCover":
+        """Remove cube pairs that are identical (distance 0): over XOR
+        they cancel exactly."""
+        remaining: list[Cube] = []
+        for cube in self._cubes:
+            if cube in remaining:
+                remaining.remove(cube)
+            else:
+                remaining.append(cube)
+        return self.with_cubes(remaining)
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EsopCover):
+            return NotImplemented
+        return self._num_vars == other._num_vars and self._cubes == other._cubes
+
+    def __str__(self) -> str:
+        if not self._cubes:
+            return "0"
+        return " + ".join(str(cube) for cube in self._cubes)
+
+    def __repr__(self) -> str:
+        return f"EsopCover(num_vars={self._num_vars}, cubes={str(self)!r})"

@@ -1,0 +1,157 @@
+"""Three-valued cubes for ESOP covers (Sec. II-C and II-E).
+
+A *cube* is a product of literals where each variable appears
+positively, negatively, or not at all.  It is stored as two masks:
+``care`` (variables constrained by the cube) and ``polarity`` (the
+required value of each cared-for variable).  The tautology cube has
+``care == 0``.
+"""
+
+from __future__ import annotations
+
+from repro.pprm.term import variable_name
+from repro.utils.bitops import bit, bits_of, popcount
+
+__all__ = ["Cube"]
+
+
+class Cube:
+    """One product term with mixed-polarity literals."""
+
+    __slots__ = ("_care", "_polarity")
+
+    def __init__(self, care: int, polarity: int):
+        if care < 0 or polarity < 0:
+            raise ValueError("cube masks must be non-negative")
+        if polarity & ~care:
+            raise ValueError(
+                "polarity bits outside the care mask "
+                f"(care={care:#x}, polarity={polarity:#x})"
+            )
+        self._care = care
+        self._polarity = polarity
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def tautology(cls) -> "Cube":
+        """The constant-1 cube (no literals)."""
+        return cls(0, 0)
+
+    @classmethod
+    def minterm(cls, assignment: int, num_vars: int) -> "Cube":
+        """The full-care cube matching exactly ``assignment``."""
+        care = (1 << num_vars) - 1
+        if assignment & ~care:
+            raise ValueError(
+                f"assignment {assignment} does not fit in {num_vars} variables"
+            )
+        return cls(care, assignment)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse PLA-style cube text: ``1-0`` means ``x2 x0'``.
+
+        The leftmost character is the highest-numbered variable,
+        matching PLA file column order.
+        """
+        care = 0
+        polarity = 0
+        for position, symbol in enumerate(reversed(text.strip())):
+            if symbol == "1":
+                care |= bit(position)
+                polarity |= bit(position)
+            elif symbol == "0":
+                care |= bit(position)
+            elif symbol != "-":
+                raise ValueError(f"bad cube character {symbol!r} in {text!r}")
+        return cls(care, polarity)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def care(self) -> int:
+        """Mask of variables the cube constrains."""
+        return self._care
+
+    @property
+    def polarity(self) -> int:
+        """Required values of the constrained variables."""
+        return self._polarity
+
+    def literal_count(self) -> int:
+        """Number of literals in the cube."""
+        return popcount(self._care)
+
+    def positive_mask(self) -> int:
+        """Mask of positive literals."""
+        return self._polarity
+
+    def negative_mask(self) -> int:
+        """Mask of negative literals."""
+        return self._care & ~self._polarity
+
+    def evaluate(self, assignment: int) -> int:
+        """Return the cube's value (0/1) on ``assignment``."""
+        return 1 if assignment & self._care == self._polarity else 0
+
+    def distance(self, other: "Cube") -> int:
+        """The ESOP distance: number of variable positions at which the
+        two cubes' literal status differs (the exorlink metric)."""
+        differs = (self._care ^ other._care) | (
+            (self._care & other._care) & (self._polarity ^ other._polarity)
+        )
+        return popcount(differs)
+
+    def differing_positions(self, other: "Cube") -> list[int]:
+        """Variable indices where the cubes differ (see :meth:`distance`)."""
+        differs = (self._care ^ other._care) | (
+            (self._care & other._care) & (self._polarity ^ other._polarity)
+        )
+        return list(bits_of(differs))
+
+    # -- rewriting ----------------------------------------------------------------
+
+    def with_variable(self, index: int, status: str) -> "Cube":
+        """Return a copy with variable ``index`` set to ``"1"``, ``"0"``,
+        or ``"-"`` (absent)."""
+        mask = bit(index)
+        care = self._care & ~mask
+        polarity = self._polarity & ~mask
+        if status == "1":
+            care |= mask
+            polarity |= mask
+        elif status == "0":
+            care |= mask
+        elif status != "-":
+            raise ValueError(f"status must be '0', '1', or '-', not {status!r}")
+        return Cube(care, polarity)
+
+    def variable_status(self, index: int) -> str:
+        """Return ``"1"``, ``"0"``, or ``"-"`` for variable ``index``."""
+        mask = bit(index)
+        if not self._care & mask:
+            return "-"
+        return "1" if self._polarity & mask else "0"
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return self._care == other._care and self._polarity == other._polarity
+
+    def __hash__(self) -> int:
+        return hash((self._care, self._polarity))
+
+    def __str__(self) -> str:
+        if not self._care:
+            return "1"
+        parts = []
+        for index in bits_of(self._care):
+            name = variable_name(index)
+            parts.append(name if self._polarity & bit(index) else f"{name}'")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Cube(care={self._care:#x}, polarity={self._polarity:#x})"

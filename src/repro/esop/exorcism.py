@@ -1,0 +1,157 @@
+"""Heuristic ESOP minimization — a miniature EXORCISM-4 (Sec. II-E).
+
+The paper obtains ESOP forms with EXORCISM-4 [15], which repeatedly
+rewrites cube pairs using *exorlink* operations and keeps rewrites that
+shrink the cover.  This module implements the same loop structure:
+
+* distance-0 pairs cancel outright (``C XOR C = 0``);
+* distance-1 pairs merge into a single cube
+  (``xC XOR x'C = C``, ``xC XOR C = x'C``, ``x'C XOR C = xC``);
+* distance-2 pairs are *reshaped* into alternative two-cube covers
+  (exorlink-2); a reshape is kept when it enables a later distance-0/1
+  reduction, discovered by a bounded look-ahead.
+
+The result is functionally equivalent to the input (validated in the
+test suite) but not guaranteed minimal — the same contract EXORCISM-4
+offers.  For completely specified reversible functions the synthesis
+pipeline does not depend on this module (the PPRM is computed exactly
+via the Mobius transform); it exists to exercise the paper's ESOP code
+path and for standalone ESOP experiments.
+"""
+
+from __future__ import annotations
+
+from repro.esop.cover import EsopCover
+from repro.esop.cube import Cube
+
+__all__ = ["minimize", "merge_distance_one", "exorlink_two"]
+
+_STATUSES = ("0", "1", "-")
+
+
+def merge_distance_one(first: Cube, second: Cube) -> Cube:
+    """Merge a distance-1 pair into the single equivalent cube.
+
+    At the differing position the pair's statuses are two of
+    ``{0, 1, -}``; their XOR is the third: ``x XOR x' = 1`` (drop the
+    literal), ``x XOR 1 = x'``, ``x' XOR 1 = x`` (1 meaning the
+    variable absent).
+    """
+    positions = first.differing_positions(second)
+    if len(positions) != 1:
+        raise ValueError(
+            f"cubes {first} and {second} are at distance "
+            f"{first.distance(second)}, not 1"
+        )
+    index = positions[0]
+    remaining = _third_status(
+        first.variable_status(index), second.variable_status(index)
+    )
+    return first.with_variable(index, remaining)
+
+
+def _third_status(one: str, other: str) -> str:
+    """The XOR of two distinct variable statuses is always the third:
+    ``x XOR x' = 1`` (free), ``x XOR 1 = x'``, ``x' XOR 1 = x``."""
+    (remaining,) = set(_STATUSES) - {one, other}
+    return remaining
+
+
+def exorlink_two(first: Cube, second: Cube) -> list[tuple[Cube, Cube]]:
+    """Enumerate the exorlink-2 reshapes of a distance-2 pair.
+
+    Writing ``A = a_i a_j C`` and ``B = b_i b_j C`` (identical outside
+    the two differing positions ``i`` and ``j``), the factorizations
+
+        A XOR B = a_i (a_j XOR b_j) C  XOR  (a_i XOR b_i) b_j C
+                = (a_i XOR b_i) a_j C  XOR  b_i (a_j XOR b_j) C
+
+    yield two alternative two-cube covers, where each XOR of statuses
+    is the third status (:func:`_third_status`).  Every returned pair
+    is functionally equivalent to the input pair.
+    """
+    positions = first.differing_positions(second)
+    if len(positions) != 2:
+        raise ValueError(
+            f"cubes {first} and {second} are at distance "
+            f"{first.distance(second)}, not 2"
+        )
+    i, j = positions
+    s_i = _third_status(
+        first.variable_status(i), second.variable_status(i)
+    )
+    t_j = _third_status(
+        first.variable_status(j), second.variable_status(j)
+    )
+    return [
+        (first.with_variable(j, t_j), second.with_variable(i, s_i)),
+        (first.with_variable(i, s_i), second.with_variable(j, t_j)),
+    ]
+
+
+def _reduce_pass(cubes: list[Cube]) -> tuple[list[Cube], bool]:
+    """One pass of distance-0 cancellation and distance-1 merging."""
+    changed = False
+    index = 0
+    while index < len(cubes):
+        partner = None
+        for scan in range(index + 1, len(cubes)):
+            distance = cubes[index].distance(cubes[scan])
+            if distance == 0:
+                del cubes[scan]
+                del cubes[index]
+                partner = "cancelled"
+                break
+            if distance == 1:
+                merged = merge_distance_one(cubes[index], cubes[scan])
+                del cubes[scan]
+                cubes[index] = merged
+                partner = "merged"
+                break
+        if partner is None:
+            index += 1
+        else:
+            changed = True
+            index = 0
+    return cubes, changed
+
+
+def _try_exorlink(cubes: list[Cube]) -> bool:
+    """Attempt one profitable distance-2 reshape.
+
+    A reshape never changes the cube count by itself; it is accepted
+    when one of its output cubes is at distance <= 1 from some third
+    cube, guaranteeing the next reduction pass shrinks the cover.
+    """
+    for i in range(len(cubes)):
+        for j in range(i + 1, len(cubes)):
+            if cubes[i].distance(cubes[j]) != 2:
+                continue
+            for left, right in exorlink_two(cubes[i], cubes[j]):
+                for k in range(len(cubes)):
+                    if k in (i, j):
+                        continue
+                    if (
+                        cubes[k].distance(left) <= 1
+                        or cubes[k].distance(right) <= 1
+                    ):
+                        cubes[i] = left
+                        cubes[j] = right
+                        return True
+    return False
+
+
+def minimize(cover: EsopCover, max_rounds: int = 50) -> EsopCover:
+    """Minimize ``cover`` heuristically.
+
+    Alternates reduction passes (distance 0/1) with profitable
+    exorlink-2 reshapes until a fixpoint or ``max_rounds``.  The result
+    computes the same function.
+    """
+    cubes = list(cover.cubes)
+    for _ in range(max_rounds):
+        cubes, _ = _reduce_pass(cubes)
+        if not _try_exorlink(cubes):
+            break
+    cubes, _ = _reduce_pass(cubes)
+    return cover.with_cubes(cubes)

@@ -1,0 +1,193 @@
+"""The paper's published results, transcribed for paper-vs-measured
+reports.
+
+Sources: Tables I-VII and the Example circuits of Sec. V.  Where the
+paper quotes other tools (Miller [7], Kerntopf [6], the best published
+results [13]), those numbers are included for display but are *their*
+results, not obligations on this reproduction.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE1_AVERAGES",
+    "TABLE2_SIZES",
+    "TABLE3_SIZES",
+    "TABLE3_FAILED",
+    "TABLE4",
+    "SCALABILITY_BUCKETS",
+    "TABLE5",
+    "TABLE6",
+    "TABLE7",
+    "EXAMPLE_GATE_COUNTS",
+]
+
+#: Table I — circuits per gate count over all 40 320 three-variable
+#: reversible functions.  Keys: method name; values: {gate count: how
+#: many functions}.
+TABLE1: dict[str, dict[int, int]] = {
+    "ours_nct": {
+        9: 36, 8: 3351, 7: 12476, 6: 13596, 5: 7479,
+        4: 2642, 3: 625, 2: 102, 1: 12, 0: 1,
+    },
+    "miller_ncts": {
+        11: 5, 10: 110, 9: 792, 8: 4726, 7: 11199, 6: 12076,
+        5: 7518, 4: 2981, 3: 767, 2: 130, 1: 15, 0: 1,
+    },
+    "kerntopf_ncts": {
+        9: 86, 8: 2740, 7: 11774, 6: 13683, 5: 8068,
+        4: 3038, 3: 781, 2: 134, 1: 15, 0: 1,
+    },
+    "optimal_nct": {
+        8: 577, 7: 10253, 6: 17049, 5: 8921,
+        4: 2780, 3: 625, 2: 102, 1: 12, 0: 1,
+    },
+    "optimal_ncts": {
+        8: 32, 7: 6817, 6: 17531, 5: 11194,
+        4: 3752, 3: 844, 2: 134, 1: 15, 0: 1,
+    },
+}
+
+#: Table I bottom row.
+TABLE1_AVERAGES = {
+    "ours_nct": 6.10,
+    "miller_ncts": 6.18,
+    "kerntopf_ncts": 6.01,
+    "optimal_nct": 5.87,
+    "optimal_ncts": 5.63,
+}
+
+#: Table II — circuit sizes over 50 000 random four-variable functions
+#: (60 s limit, max 40 gates, greedy pruning).  {size: count}; all
+#: functions synthesized.
+TABLE2_SIZES: dict[int, int] = {
+    size: count
+    for size, count in zip(
+        range(2, 20),
+        [3, 34, 159, 604, 1753, 3917, 6726, 8704, 9053, 7665,
+         5435, 3225, 1631, 728, 264, 77, 20, 1],
+    )
+}
+
+#: Table III — circuit sizes over 3 000 random five-variable functions
+#: (180 s limit, max 60 gates, greedy pruning).
+TABLE3_SIZES: dict[int, int] = {
+    28: 1, 29: 3, 30: 8, 31: 29, 32: 45, 33: 82, 34: 130, 35: 202,
+    36: 206, 37: 310, 38: 344, 39: 307, 40: 304, 41: 297, 42: 176,
+    43: 151, 44: 117, 45: 47, 46: 27, 47: 15, 48: 4, 51: 1,
+}
+
+#: Table III failure count (out of 3 000).
+TABLE3_FAILED = 194
+
+#: Table IV — benchmark results: name -> (real inputs, garbage inputs,
+#: our gates, our cost, best-published gates [13], best-published cost
+#: [13]); ``None`` where the paper prints "-".  Names marked NCT in the
+#: paper (the dagger) are listed in TABLE4_NCT_NAMES.
+TABLE4: dict[str, tuple[int, int, int, int, int | None, int | None]] = {
+    "2of5": (5, 2, 20, 100, 15, 107),
+    "rd32": (3, 1, 4, 8, 4, 8),
+    "3_17": (3, 0, 6, 14, 6, 12),
+    "4_49": (4, 0, 13, 61, 16, 58),
+    "alu": (5, 0, 18, 114, None, None),
+    "rd53": (5, 2, 13, 116, 16, 75),
+    "xor5": (5, 0, 4, 4, 4, 4),
+    "4mod5": (4, 1, 5, 13, 5, 13),
+    "5mod5": (5, 1, 11, 91, 10, 90),
+    "ham3": (3, 0, 5, 9, 5, 7),
+    "ham7": (7, 0, 24, 68, 23, 81),
+    "hwb4": (4, 0, 15, 35, 17, 63),
+    "decod24": (4, 0, 11, 31, None, None),
+    "shift10": (12, 0, 27, 1469, 19, 1198),
+    "shift15": (17, 0, 30, 3500, None, None),
+    "shift28": (30, 0, 56, 14310, None, None),
+    "5one013": (5, 0, 19, 95, None, None),
+    "5one245": (5, 0, 20, 104, None, None),
+    "6one135": (6, 0, 5, 5, None, None),
+    "6one0246": (6, 0, 6, 6, None, None),
+    "majority3": (3, 0, 4, 16, None, None),
+    "majority5": (5, 0, 16, 104, None, None),
+    "graycode6": (6, 0, 5, 5, 5, 5),
+    "graycode10": (10, 0, 9, 9, 9, 9),
+    "graycode20": (20, 0, 19, 19, 19, 19),
+    "mod5adder": (6, 0, 19, 127, 21, 125),
+    "mod32adder": (10, 0, 15, 154, None, None),
+    "mod15adder": (8, 0, 10, 71, None, None),
+    "mod64adder": (12, 0, 26, 333, None, None),
+}
+
+#: Benchmarks whose Table IV comparison uses the NCT library.
+TABLE4_NCT_NAMES = frozenset(
+    ["rd32", "3_17", "xor5", "4mod5", "ham3", "hwb4",
+     "6one135", "6one0246", "majority3"]
+)
+
+#: Circuit-size buckets shared by Tables V-VII.
+SCALABILITY_BUCKETS: list[tuple[int, int]] = [
+    (1, 5), (6, 10), (11, 15), (16, 20),
+    (21, 25), (26, 30), (31, 35), (36, 40),
+]
+
+#: Tables V-VII — scalability on random circuits.  Per variable count:
+#: (counts per size bucket, number failed).  Sample sizes: 500 for
+#: Table V, 1 000 for Tables VI and VII.
+TABLE5: dict[int, tuple[list[int], int]] = {
+    6: ([173, 155, 110, 46, 11, 3, 1, 0], 1),
+    7: ([159, 147, 105, 58, 18, 12, 1, 0], 0),
+    8: ([181, 134, 93, 51, 27, 5, 4, 1], 4),
+    9: ([160, 116, 115, 63, 23, 10, 6, 1], 6),
+    10: ([152, 132, 114, 68, 16, 11, 4, 0], 3),
+    11: ([176, 127, 106, 53, 17, 10, 3, 1], 7),
+    12: ([152, 117, 108, 66, 20, 13, 5, 5], 14),
+    13: ([161, 132, 98, 56, 25, 9, 3, 0], 16),
+    14: ([145, 151, 95, 44, 27, 16, 6, 1], 15),
+    15: ([167, 131, 89, 55, 19, 11, 5, 0], 23),
+    16: ([160, 141, 95, 48, 28, 7, 1, 2], 18),
+}
+
+TABLE6: dict[int, tuple[list[int], int]] = {
+    6: ([260, 231, 171, 153, 113, 48, 17, 6], 1),
+    7: ([218, 215, 170, 146, 122, 70, 32, 22], 5),
+    8: ([227, 202, 167, 122, 109, 81, 40, 26], 26),
+    9: ([240, 177, 166, 130, 98, 73, 34, 26], 56),
+    10: ([223, 219, 153, 119, 86, 68, 32, 34], 66),
+    11: ([227, 213, 150, 116, 81, 55, 35, 33], 90),
+    12: ([233, 225, 164, 107, 69, 48, 25, 18], 111),
+    13: ([223, 222, 153, 120, 75, 37, 28, 17], 125),
+    14: ([238, 224, 154, 90, 46, 49, 27, 21], 151),
+    15: ([237, 205, 178, 81, 68, 37, 14, 18], 162),
+    16: ([258, 182, 172, 89, 58, 32, 22, 27], 160),
+}
+
+TABLE7: dict[int, tuple[list[int], int]] = {
+    6: ([189, 202, 158, 132, 103, 76, 57, 72], 11),
+    7: ([215, 152, 132, 119, 88, 73, 83, 84], 54),
+    8: ([179, 167, 129, 122, 84, 70, 74, 78], 97),
+    9: ([191, 166, 128, 101, 68, 64, 68, 57], 157),
+    10: ([201, 156, 121, 106, 61, 62, 35, 39], 219),
+    11: ([202, 163, 117, 87, 73, 49, 32, 47], 230),
+    12: ([164, 156, 146, 106, 56, 36, 36, 25], 275),
+    13: ([201, 176, 122, 74, 57, 40, 42, 25], 263),
+    14: ([197, 160, 138, 76, 45, 35, 22, 32], 295),
+    15: ([166, 172, 103, 50, 29, 13, 8, 7], 452),
+    16: ([173, 183, 128, 60, 37, 17, 11, 8], 383),
+}
+
+#: Gate counts of the printed Example circuits (Sec. V-C).
+EXAMPLE_GATE_COUNTS = {
+    "fig1": 3,
+    "example1": 4,
+    "example2": 3,
+    "fredkin": 3,
+    "example4": 6,
+    "example5": 7,
+    "example6": 3,
+    "example7": 4,
+    "adder": 4,
+    "rd53": 13,
+    "majority5": 16,
+    "decod24": 11,
+    "5one013": 19,
+    "alu": 18,
+}

@@ -1,0 +1,122 @@
+"""One-shot reproduction report: every table and figure in one run.
+
+``rmrls report`` (or :func:`generate_report`) executes all experiment
+drivers at the configured scale and emits a markdown document in the
+layout of EXPERIMENTS.md.  The committed EXPERIMENTS.md was produced
+from runs of these drivers; regenerate with a bigger
+``REPRO_BENCH_SCALE`` or sample overrides to deepen any section.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+from repro.experiments.examples import render_examples, run_examples
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table23 import (
+    render_table2,
+    render_table3,
+    run_random_functions,
+)
+from repro.experiments.table4 import render_table4, run_table4
+from repro.experiments.table567 import render_scalability, run_scalability
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(
+    table1_sample: int = 150,
+    table2_sample: int = 10,
+    table3_sample: int = 4,
+    table4_names: list[str] | None = None,
+    scalability_samples: int = 3,
+    scalability_variables: list[int] | None = None,
+    include_examples: bool = True,
+    progress=None,
+) -> str:
+    """Run every experiment and return the markdown report."""
+    if scalability_variables is None:
+        scalability_variables = [6, 8, 10]
+    if table4_names is None:
+        table4_names = [
+            "3_17", "rd32", "xor5", "4mod5", "graycode6", "graycode10",
+            "6one135", "6one0246", "majority3", "adder", "2of5",
+        ]
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    sections = ["# RMRLS reproduction report\n"]
+
+    note("Table I")
+    sections.append(
+        _section(
+            "Table I — three-variable functions",
+            render_table1(run_table1(sample=table1_sample)),
+        )
+    )
+
+    note("Table II")
+    sections.append(
+        _section(
+            "Table II — random four-variable functions",
+            render_table2(run_random_functions(4, table2_sample)),
+        )
+    )
+
+    note("Table III")
+    sections.append(
+        _section(
+            "Table III — random five-variable functions",
+            render_table3(run_random_functions(5, table3_sample)),
+        )
+    )
+
+    note("Table IV")
+    sections.append(
+        _section(
+            "Table IV — benchmarks",
+            render_table4(run_table4(table4_names, use_portfolio=False)),
+        )
+    )
+
+    for max_gates in (15, 20, 25):
+        note(f"Tables V-VII (max {max_gates})")
+        results = run_scalability(
+            max_gates,
+            variables=scalability_variables,
+            samples=scalability_samples,
+        )
+        sections.append(
+            _section(
+                f"Tables V-VII — random circuits, max gate count "
+                f"{max_gates}",
+                render_scalability(max_gates, results),
+            )
+        )
+
+    if include_examples:
+        note("Examples")
+        sections.append(
+            _section(
+                "Sec. V-C examples", render_examples(run_examples())
+            )
+        )
+
+    note("Figures")
+    figure_text = "\n\n".join(
+        [
+            figures.figure1_and_3d(),
+            figures.figure2_and_8(),
+            figures.figure6_substitutions(),
+            figures.figure7_example1(),
+            figures.figure9_alu(),
+        ]
+    )
+    sections.append(_section("Figures 1-9", figure_text))
+
+    return "\n".join(sections)

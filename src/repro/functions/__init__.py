@@ -1,0 +1,40 @@
+"""Reversible and irreversible function representations.
+
+Reversible specifications are :class:`Permutation` objects; raw
+multi-output specifications are :class:`TruthTable` objects; the
+:func:`embed` routine converts the latter into the former by adding
+garbage outputs and constant inputs (Sec. II-A of the paper).
+"""
+
+from repro.functions.dontcare import (
+    DontCareResult,
+    EmbeddingStrategy,
+    candidate_embeddings,
+    synthesize_with_dont_cares,
+)
+from repro.functions.embedding import Embedding, embed, required_garbage_outputs
+from repro.functions.permutation import Permutation, random_permutation
+from repro.functions.spectral import (
+    permutation_spectra,
+    rademacher_walsh_spectrum,
+    spectral_complexity,
+    walsh_hadamard_transform,
+)
+from repro.functions.truth_table import TruthTable
+
+__all__ = [
+    "DontCareResult",
+    "EmbeddingStrategy",
+    "candidate_embeddings",
+    "synthesize_with_dont_cares",
+    "Embedding",
+    "embed",
+    "required_garbage_outputs",
+    "Permutation",
+    "random_permutation",
+    "TruthTable",
+    "permutation_spectra",
+    "rademacher_walsh_spectrum",
+    "spectral_complexity",
+    "walsh_hadamard_transform",
+]

@@ -1,0 +1,167 @@
+"""Reversible embedding of irreversible functions (Sec. II-A).
+
+An irreversible function is made reversible by appending garbage
+outputs until the input-to-output mapping is unique, then prepending
+constant inputs until the table is square.  If the most frequent output
+word occurs ``p`` times, ``ceil(log2 p)`` garbage outputs suffice [2].
+
+Line layout of the embedded function (an ``n``-variable permutation):
+
+* output bits ``g + k`` hold real output ``k`` of the original table
+  (``g`` is the number of garbage outputs), garbage outputs sit in bits
+  ``0..g-1`` — matching Fig. 2(b), where the garbage column is
+  rightmost;
+* input bits ``0..num_inputs-1`` are the original inputs and the added
+  constant inputs are the high bits, expected to be 0 — matching
+  Fig. 2(b), where the constant input ``d`` is the leftmost column.
+
+Rows whose constant inputs are not all 0 are don't-cares; the embedder
+completes them into a bijection arbitrarily (and deterministically).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.functions.permutation import Permutation
+from repro.functions.truth_table import TruthTable
+
+__all__ = ["Embedding", "embed", "required_garbage_outputs"]
+
+
+def required_garbage_outputs(table: TruthTable) -> int:
+    """Return ``ceil(log2 p)`` for the table's output multiplicity ``p``."""
+    multiplicity = table.max_output_multiplicity()
+    return math.ceil(math.log2(multiplicity)) if multiplicity > 1 else 0
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A reversible embedding of an irreversible specification.
+
+    Attributes:
+        permutation: the embedded reversible function.
+        table: the original irreversible specification.
+        num_garbage_outputs: garbage outputs appended (low output bits).
+        num_constant_inputs: constant-0 inputs appended (high input bits).
+    """
+
+    permutation: Permutation
+    table: TruthTable
+    num_garbage_outputs: int
+    num_constant_inputs: int
+
+    @property
+    def num_lines(self) -> int:
+        """Total circuit lines of the embedded function."""
+        return self.permutation.num_vars
+
+    def real_output(self, embedded_output: int, output: int) -> int:
+        """Extract original output ``output`` from an embedded output word."""
+        return embedded_output >> (self.num_garbage_outputs + output) & 1
+
+    def embedded_input(self, assignment: int) -> int:
+        """Return the embedded input word for an original assignment
+        (constant inputs forced to 0)."""
+        if not 0 <= assignment < (1 << self.table.num_inputs):
+            raise ValueError(f"assignment {assignment} out of range")
+        return assignment
+
+    def restricts_to_table(self) -> bool:
+        """Check that the embedding reproduces the original function when
+        the constant inputs are 0."""
+        for assignment in range(1 << self.table.num_inputs):
+            embedded = self.permutation(self.embedded_input(assignment))
+            word = 0
+            for output in range(self.table.num_outputs):
+                word |= self.real_output(embedded, output) << output
+            if word != self.table(assignment):
+                return False
+        return True
+
+
+def embed(
+    table: TruthTable,
+    garbage: Callable[[int], int] | None = None,
+    extra_garbage_outputs: int = 0,
+    spare_order: str = "ascending",
+) -> Embedding:
+    """Embed an irreversible ``table`` into a reversible function.
+
+    ``garbage`` optionally supplies the garbage word for each original
+    input assignment (e.g. Fig. 2(b) sets the single garbage output to
+    input ``a``); when omitted, the smallest garbage word that keeps the
+    mapping unique is chosen per row.  ``extra_garbage_outputs`` adds
+    slack beyond the minimum ``ceil(log2 p)``, which some benchmark
+    specifications use.
+
+    ``spare_order`` picks how the don't-care rows (constant inputs not
+    all 0) are completed into a bijection: ``"ascending"`` (default),
+    ``"descending"``, or ``"gray"`` (binary-reflected Gray order) —
+    different completions can synthesize very differently, see
+    :mod:`repro.functions.dontcare`.
+
+    Raises :class:`ValueError` if an explicit ``garbage`` assignment
+    creates a repeated output word.
+    """
+    if extra_garbage_outputs < 0:
+        raise ValueError("extra_garbage_outputs must be non-negative")
+    if spare_order not in ("ascending", "descending", "gray"):
+        raise ValueError(
+            "spare_order must be 'ascending', 'descending', or 'gray', "
+            f"not {spare_order!r}"
+        )
+    num_garbage = required_garbage_outputs(table) + extra_garbage_outputs
+    num_lines = max(table.num_inputs, table.num_outputs + num_garbage)
+    # Garbage beyond the minimum may be needed purely to square the table
+    # when there are more inputs than outputs.
+    num_garbage = num_lines - table.num_outputs
+    num_constants = num_lines - table.num_inputs
+    size = 1 << num_lines
+
+    images: list[int] = [-1] * size
+    used: set[int] = set()
+    garbage_pool: dict[int, int] = {}
+
+    for assignment in range(1 << table.num_inputs):
+        real_word = table(assignment)
+        if garbage is not None:
+            garbage_word = garbage(assignment)
+            if not 0 <= garbage_word < (1 << num_garbage):
+                raise ValueError(
+                    f"garbage word {garbage_word} does not fit in "
+                    f"{num_garbage} garbage outputs"
+                )
+        else:
+            garbage_word = garbage_pool.get(real_word, 0)
+        embedded_output = (real_word << num_garbage) | garbage_word
+        if embedded_output in used:
+            raise ValueError(
+                f"garbage assignment repeats output word {embedded_output} "
+                f"for input {assignment}"
+            )
+        used.add(embedded_output)
+        garbage_pool[real_word] = garbage_word + 1
+        images[assignment] = embedded_output
+
+    # Complete the don't-care rows (constant inputs != 0) into a
+    # bijection with the unused output words, deterministically per
+    # spare_order.
+    if spare_order == "ascending":
+        candidates = range(size)
+    elif spare_order == "descending":
+        candidates = range(size - 1, -1, -1)
+    else:  # gray: binary-reflected Gray sequence
+        candidates = [word ^ (word >> 1) for word in range(size)]
+    spare = (word for word in candidates if word not in used)
+    for assignment in range(1 << table.num_inputs, size):
+        images[assignment] = next(spare)
+
+    return Embedding(
+        permutation=Permutation(tuple(images)),
+        table=table,
+        num_garbage_outputs=num_garbage,
+        num_constant_inputs=num_constants,
+    )

@@ -1,0 +1,202 @@
+"""Reversible functions as permutations of ``{0, ..., 2^n - 1}``.
+
+Section II-A: a completely specified n-input, n-output Boolean function
+is reversible iff it is a bijection on assignments, i.e. a permutation.
+The paper writes specifications as image lists, e.g. Fig. 1 is
+``{1, 0, 7, 2, 3, 4, 5, 6}``; :class:`Permutation` stores exactly that
+list (``images[m]`` is the output assignment for input ``m``, with bit
+``i`` of each integer holding variable ``i``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Sequence
+
+from repro.pprm.system import PPRMSystem
+
+__all__ = ["Permutation", "random_permutation"]
+
+
+class Permutation:
+    """A validated reversible specification.
+
+    Instances are immutable, hashable, and form a group under
+    composition (``@``).
+    """
+
+    __slots__ = ("_images", "_num_vars")
+
+    def __init__(self, images: Sequence[int]):
+        images = tuple(images)
+        size = len(images)
+        num_vars = (size - 1).bit_length() if size else -1
+        if size < 2 or size != 1 << num_vars:
+            raise ValueError(
+                f"specification length must be a power of two >= 2, got {size}"
+            )
+        if sorted(images) != list(range(size)):
+            raise ValueError(
+                "specification is not reversible: images are not a "
+                f"permutation of 0..{size - 1}"
+            )
+        self._images = images
+        self._num_vars = num_vars
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_vars: int) -> "Permutation":
+        """Return the identity function on ``num_vars`` variables."""
+        if num_vars < 1:
+            raise ValueError("need at least one variable")
+        return cls(tuple(range(1 << num_vars)))
+
+    @classmethod
+    def from_cycles(cls, num_vars: int, cycles: Sequence[Sequence[int]]) -> "Permutation":
+        """Build a permutation from disjoint cycles of assignments."""
+        size = 1 << num_vars
+        images = list(range(size))
+        seen: set[int] = set()
+        for cycle in cycles:
+            for element in cycle:
+                if not 0 <= element < size:
+                    raise ValueError(f"assignment {element} out of range")
+                if element in seen:
+                    raise ValueError(f"assignment {element} in two cycles")
+                seen.add(element)
+            for position, element in enumerate(cycle):
+                images[element] = cycle[(position + 1) % len(cycle)]
+        return cls(tuple(images))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """The number of input (= output) variables."""
+        return self._num_vars
+
+    @property
+    def images(self) -> tuple[int, ...]:
+        """The image list, as printed in the paper's specifications."""
+        return self._images
+
+    def __call__(self, assignment: int) -> int:
+        return self._images[assignment]
+
+    def is_identity(self) -> bool:
+        """Return ``True`` for the identity function."""
+        return all(image == m for m, image in enumerate(self._images))
+
+    def fixed_points(self) -> int:
+        """Return the number of assignments mapped to themselves."""
+        return sum(1 for m, image in enumerate(self._images) if image == m)
+
+    def hamming_complexity(self) -> int:
+        """Total Hamming distance between inputs and outputs.
+
+        This is the complexity measure driving the transformation-based
+        baseline's gate selection (Miller et al. [7]).
+        """
+        return sum(
+            (m ^ image).bit_count() for m, image in enumerate(self._images)
+        )
+
+    def parity(self) -> int:
+        """Return 0 for an even permutation, 1 for an odd one.
+
+        Shende et al. [16] prove that odd permutations on n >= 4 wires
+        cannot be built from NCT gates without the full n-bit Toffoli;
+        experiments use this to sanity-check generated circuits.
+        """
+        seen = [False] * len(self._images)
+        transpositions = 0
+        for start in range(len(self._images)):
+            if seen[start]:
+                continue
+            length = 0
+            element = start
+            while not seen[element]:
+                seen[element] = True
+                element = self._images[element]
+                length += 1
+            transpositions += length - 1
+        return transpositions & 1
+
+    # -- group structure -------------------------------------------------------
+
+    def inverse(self) -> "Permutation":
+        """Return the inverse function."""
+        inverse = [0] * len(self._images)
+        for m, image in enumerate(self._images):
+            inverse[image] = m
+        return Permutation(tuple(inverse))
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        """Function composition: ``(f @ g)(x) == f(g(x))``."""
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if other.num_vars != self._num_vars:
+            raise ValueError(
+                f"cannot compose functions on {self._num_vars} and "
+                f"{other.num_vars} variables"
+            )
+        return Permutation(
+            tuple(self._images[other._images[m]] for m in range(len(self._images)))
+        )
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_pprm(self) -> PPRMSystem:
+        """Return the canonical PPRM system of this function."""
+        return PPRMSystem.from_permutation(self._images)
+
+    def output_permuted(self, wire_map: Sequence[int]) -> "Permutation":
+        """Relabel output wires: new output ``i`` is old output
+        ``wire_map[i]``.
+
+        The bidirectional baseline searches over such relabelings
+        ("output permutations" in [7]) looking for a simpler equivalent
+        specification.
+        """
+        if sorted(wire_map) != list(range(self._num_vars)):
+            raise ValueError("wire_map must be a permutation of the wires")
+        images = []
+        for m in range(len(self._images)):
+            old = self._images[m]
+            new = 0
+            for new_index, old_index in enumerate(wire_map):
+                new |= (old >> old_index & 1) << new_index
+            images.append(new)
+        return Permutation(tuple(images))
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._images)
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self._images == other._images
+
+    def __hash__(self) -> int:
+        return hash(self._images)
+
+    def __repr__(self) -> str:
+        return f"Permutation({list(self._images)!r})"
+
+    def __str__(self) -> str:
+        body = ", ".join(str(image) for image in self._images)
+        return "{" + body + "}"
+
+
+def random_permutation(num_vars: int, rng: random.Random) -> Permutation:
+    """Draw a uniformly random reversible function on ``num_vars``
+    variables (the Tables II/III workload generator)."""
+    images = list(range(1 << num_vars))
+    rng.shuffle(images)
+    return Permutation(tuple(images))

@@ -1,0 +1,127 @@
+"""Multi-output, possibly irreversible truth tables.
+
+These model the raw specifications that precede reversible embedding:
+the augmented full-adder of Fig. 2(a), the ``alu`` control table of
+Fig. 9, the MCNC ``rd53`` counter, and so on.  A table has ``n`` inputs
+and ``m`` outputs with no squareness or bijectivity requirement; the
+:mod:`repro.functions.embedding` module turns one into a
+:class:`~repro.functions.permutation.Permutation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+__all__ = ["TruthTable"]
+
+
+class TruthTable:
+    """An ``n``-input, ``m``-output completely specified Boolean function.
+
+    ``rows[m]`` is the output word for input assignment ``m``; bit ``j``
+    of the word is output ``j``.
+    """
+
+    __slots__ = ("_rows", "_num_inputs", "_num_outputs")
+
+    def __init__(self, num_inputs: int, num_outputs: int, rows: Sequence[int]):
+        if num_inputs < 1 or num_outputs < 1:
+            raise ValueError("need at least one input and one output")
+        if len(rows) != 1 << num_inputs:
+            raise ValueError(
+                f"expected {1 << num_inputs} rows for {num_inputs} inputs, "
+                f"got {len(rows)}"
+            )
+        limit = 1 << num_outputs
+        for assignment, word in enumerate(rows):
+            if not 0 <= word < limit:
+                raise ValueError(
+                    f"row {assignment} output word {word} does not fit in "
+                    f"{num_outputs} outputs"
+                )
+        self._rows = tuple(rows)
+        self._num_inputs = num_inputs
+        self._num_outputs = num_outputs
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        num_inputs: int,
+        num_outputs: int,
+        function: Callable[[int], int],
+    ) -> "TruthTable":
+        """Tabulate ``function`` over every input assignment."""
+        rows = [function(m) for m in range(1 << num_inputs)]
+        return cls(num_inputs, num_outputs, rows)
+
+    @classmethod
+    def single_output(cls, values: Sequence[int]) -> "TruthTable":
+        """Build a one-output table from a 0/1 truth vector."""
+        num_inputs = (len(values) - 1).bit_length()
+        if len(values) != 1 << num_inputs:
+            raise ValueError("truth vector length must be a power of two")
+        return cls(num_inputs, 1, [value & 1 for value in values])
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input variables."""
+        return self._num_inputs
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of output signals."""
+        return self._num_outputs
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        """Output word per input assignment."""
+        return self._rows
+
+    def __call__(self, assignment: int) -> int:
+        return self._rows[assignment]
+
+    def output_vector(self, output: int) -> list[int]:
+        """Return the single-output truth vector of output ``output``."""
+        if not 0 <= output < self._num_outputs:
+            raise ValueError(f"output index {output} out of range")
+        return [word >> output & 1 for word in self._rows]
+
+    def is_reversible(self) -> bool:
+        """True iff the table is square and a bijection (Sec. II-A)."""
+        return (
+            self._num_inputs == self._num_outputs
+            and sorted(self._rows) == list(range(len(self._rows)))
+        )
+
+    def max_output_multiplicity(self) -> int:
+        """Return ``p``, the largest number of inputs sharing one output
+        word — the quantity that fixes the garbage requirement
+        ``ceil(log2 p)`` [2]."""
+        counts: dict[int, int] = {}
+        for word in self._rows:
+            counts[word] = counts.get(word, 0) + 1
+        return max(counts.values())
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return (
+            self._rows == other._rows
+            and self._num_inputs == other._num_inputs
+            and self._num_outputs == other._num_outputs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_inputs, self._num_outputs, self._rows))
+
+    def __repr__(self) -> str:
+        return (
+            f"TruthTable(num_inputs={self._num_inputs}, "
+            f"num_outputs={self._num_outputs}, rows={list(self._rows)!r})"
+        )

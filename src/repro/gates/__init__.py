@@ -1,0 +1,24 @@
+"""Reversible gates, gate libraries, and quantum-cost models."""
+
+from repro.gates.cost import CostModel, DEFAULT_COST_MODEL, gate_cost, toffoli_cost
+from repro.gates.fredkin import FredkinGate, swap
+from repro.gates.library import GT, NCT, NCTS, GateLibrary, library_by_name
+from repro.gates.toffoli import ToffoliGate, cnot, not_gate, toffoli
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "gate_cost",
+    "toffoli_cost",
+    "FredkinGate",
+    "swap",
+    "GT",
+    "NCT",
+    "NCTS",
+    "GateLibrary",
+    "library_by_name",
+    "ToffoliGate",
+    "cnot",
+    "not_gate",
+    "toffoli",
+]

@@ -1,0 +1,138 @@
+"""Generalized Fredkin and SWAP gates (Sec. II-B and VI).
+
+A generalized Fredkin gate exchanges its two target lines iff all
+control lines are 1; with no controls it is the unconditional SWAP used
+by the NCTS library.  RMRLS itself targets Toffoli gates only, but the
+baselines' NCTS results (Table I) and the paper's future-work section
+need Fredkin/SWAP support, and a Fredkin gate is equivalent to three
+Toffoli gates (Sec. VI) — :meth:`FredkinGate.to_toffoli` provides that
+expansion.
+"""
+
+from __future__ import annotations
+
+from repro.gates.toffoli import ToffoliGate
+from repro.pprm.term import variable_index, variable_name
+from repro.utils.bitops import bit, indices_of, popcount
+
+__all__ = ["FredkinGate", "swap"]
+
+
+class FredkinGate:
+    """A generalized Fredkin (controlled-SWAP) gate."""
+
+    __slots__ = ("_controls", "_target_low", "_target_high")
+
+    def __init__(self, controls: int, target_a: int, target_b: int):
+        if target_a == target_b:
+            raise ValueError("Fredkin targets must be two distinct lines")
+        if controls < 0:
+            raise ValueError("controls mask must be non-negative")
+        low, high = sorted((target_a, target_b))
+        if low < 0:
+            raise ValueError("target indices must be non-negative")
+        if controls & (bit(low) | bit(high)):
+            raise ValueError("a line cannot be both control and target")
+        self._controls = controls
+        self._target_low = low
+        self._target_high = high
+
+    @classmethod
+    def from_names(cls, *names: str) -> "FredkinGate":
+        """Build from the paper's notation, last two names = targets."""
+        if len(names) < 2:
+            raise ValueError("a Fredkin gate needs two targets")
+        *control_names, name_a, name_b = names
+        controls = 0
+        for name in control_names:
+            controls |= bit(variable_index(name))
+        return cls(controls, variable_index(name_a), variable_index(name_b))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def controls(self) -> int:
+        """Mask of control lines."""
+        return self._controls
+
+    @property
+    def targets(self) -> tuple[int, int]:
+        """The two swapped lines, in increasing order."""
+        return (self._target_low, self._target_high)
+
+    @property
+    def size(self) -> int:
+        """Number of involved lines (controls + 2 targets)."""
+        return popcount(self._controls) + 2
+
+    @property
+    def lines(self) -> int:
+        """Mask of all lines the gate touches."""
+        return self._controls | bit(self._target_low) | bit(self._target_high)
+
+    def is_swap(self) -> bool:
+        """True for the unconditional SWAP (no controls)."""
+        return self._controls == 0
+
+    def min_lines(self) -> int:
+        """Smallest circuit width that can host this gate."""
+        return self.lines.bit_length()
+
+    # -- semantics ---------------------------------------------------------------
+
+    def apply(self, assignment: int) -> int:
+        """Apply the gate to an assignment (self-inverse)."""
+        if assignment & self._controls != self._controls:
+            return assignment
+        low_bit = assignment >> self._target_low & 1
+        high_bit = assignment >> self._target_high & 1
+        if low_bit == high_bit:
+            return assignment
+        return assignment ^ bit(self._target_low) ^ bit(self._target_high)
+
+    def inverse(self) -> "FredkinGate":
+        """Return the inverse gate (Fredkin gates are involutions)."""
+        return self
+
+    def to_toffoli(self) -> list[ToffoliGate]:
+        """Expand into three Toffoli gates (Sec. VI):
+        ``CSWAP(C; x, y) = TOF(C+y; x) TOF(C+x; y) TOF(C+y; x)``."""
+        first = ToffoliGate(
+            self._controls | bit(self._target_high), self._target_low
+        )
+        middle = ToffoliGate(
+            self._controls | bit(self._target_low), self._target_high
+        )
+        return [first, middle, first]
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FredkinGate):
+            return NotImplemented
+        return (
+            self._controls == other._controls
+            and self._target_low == other._target_low
+            and self._target_high == other._target_high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._controls, self._target_low, self._target_high))
+
+    def __repr__(self) -> str:
+        return (
+            f"FredkinGate(controls={self._controls:#x}, "
+            f"targets=({self._target_low}, {self._target_high}))"
+        )
+
+    def __str__(self) -> str:
+        names = [variable_name(i) for i in indices_of(self._controls)]
+        names.append(variable_name(self._target_low))
+        names.append(variable_name(self._target_high))
+        label = "SWAP" if self.is_swap() else f"FRE{self.size}"
+        return f"{label}({', '.join(names)})"
+
+
+def swap(line_a: int, line_b: int) -> FredkinGate:
+    """Return the unconditional SWAP gate on two lines."""
+    return FredkinGate(0, line_a, line_b)

@@ -1,0 +1,136 @@
+"""Gate libraries: NCT, NCTS, and GT (Sec. II-B, Sec. V-A).
+
+A library enumerates the gates available to a synthesis method on a
+given number of lines.  RMRLS targets the GT library (all generalized
+Toffoli gates); the optimal-synthesis baseline uses NCT and NCTS as in
+Table I; the random-circuit generator of Tables V-VII draws from GT or
+NCT.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+
+from repro.gates.fredkin import FredkinGate
+from repro.gates.toffoli import ToffoliGate
+from repro.utils.bitops import bit
+
+__all__ = ["GateLibrary", "NCT", "NCTS", "GT", "library_by_name"]
+
+
+class GateLibrary:
+    """A named set of reversible gates parameterized by circuit width.
+
+    ``max_toffoli_size`` bounds the Toffoli sizes (3 for NCT/NCTS,
+    ``None`` for unbounded GT); ``include_swap`` adds the unconditional
+    SWAP gate (the NCTS extension of Table I).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        max_toffoli_size: int | None = None,
+        include_swap: bool = False,
+    ):
+        if max_toffoli_size is not None and max_toffoli_size < 1:
+            raise ValueError("max_toffoli_size must be >= 1")
+        self.name = name
+        self.max_toffoli_size = max_toffoli_size
+        self.include_swap = include_swap
+
+    def toffoli_size_limit(self, num_lines: int) -> int:
+        """Largest Toffoli size available on ``num_lines`` lines."""
+        if self.max_toffoli_size is None:
+            return num_lines
+        return min(self.max_toffoli_size, num_lines)
+
+    def allows(self, gate) -> bool:
+        """Return ``True`` if ``gate`` belongs to this library."""
+        if isinstance(gate, ToffoliGate):
+            limit = self.max_toffoli_size
+            return limit is None or gate.size <= limit
+        if isinstance(gate, FredkinGate):
+            return self.include_swap and gate.is_swap()
+        return False
+
+    def gates(self, num_lines: int) -> Iterator[ToffoliGate | FredkinGate]:
+        """Yield every library gate that fits on ``num_lines`` lines.
+
+        Used by the optimal BFS baseline; the enumeration is
+        deterministic (by size, then target, then controls).
+        """
+        if num_lines < 1:
+            raise ValueError("need at least one line")
+        limit = self.toffoli_size_limit(num_lines)
+        lines = range(num_lines)
+        for size in range(1, limit + 1):
+            for target in lines:
+                others = [line for line in lines if line != target]
+                for controls in itertools.combinations(others, size - 1):
+                    mask = 0
+                    for control in controls:
+                        mask |= bit(control)
+                    yield ToffoliGate(mask, target)
+        if self.include_swap:
+            for low, high in itertools.combinations(lines, 2):
+                yield FredkinGate(0, low, high)
+
+    def gate_count(self, num_lines: int) -> int:
+        """Number of gates the library offers on ``num_lines`` lines."""
+        limit = self.toffoli_size_limit(num_lines)
+        total = 0
+        for size in range(1, limit + 1):
+            from math import comb
+
+            total += num_lines * comb(num_lines - 1, size - 1)
+        if self.include_swap:
+            total += num_lines * (num_lines - 1) // 2
+        return total
+
+    def random_gate(
+        self, num_lines: int, rng: random.Random
+    ) -> ToffoliGate | FredkinGate:
+        """Draw a gate for the Tables V-VII random-circuit protocol.
+
+        Following Sec. V-E, a Toffoli gate is built by picking the
+        number of control bits uniformly at random (bounded by the
+        library), then the target and the control lines.
+        """
+        if self.include_swap and num_lines >= 2 and rng.randrange(8) == 0:
+            low, high = rng.sample(range(num_lines), 2)
+            return FredkinGate(0, low, high)
+        limit = self.toffoli_size_limit(num_lines)
+        size = rng.randint(1, limit)
+        target = rng.randrange(num_lines)
+        others = [line for line in range(num_lines) if line != target]
+        mask = 0
+        for control in rng.sample(others, size - 1):
+            mask |= bit(control)
+        return ToffoliGate(mask, target)
+
+    def __repr__(self) -> str:
+        return f"GateLibrary({self.name!r})"
+
+
+#: NOT + CNOT + 3-bit Toffoli (Table I, "NCT").
+NCT = GateLibrary("NCT", max_toffoli_size=3)
+
+#: NCT plus the unconditional SWAP gate (Table I, "NCTS").
+NCTS = GateLibrary("NCTS", max_toffoli_size=3, include_swap=True)
+
+#: All generalized Toffoli gates — RMRLS's target library.
+GT = GateLibrary("GT", max_toffoli_size=None)
+
+_LIBRARIES = {"NCT": NCT, "NCTS": NCTS, "GT": GT}
+
+
+def library_by_name(name: str) -> GateLibrary:
+    """Look up a library by its paper name (case-insensitive)."""
+    try:
+        return _LIBRARIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown gate library {name!r}; choose from {sorted(_LIBRARIES)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Interchange formats: RevLib ``.real`` circuits and PLA truth tables."""
+
+from repro.io.pla import PlaError, dump_pla, load_pla_esop, load_pla_table
+from repro.io.real_format import RealFormatError, dump_real, load_real
+
+__all__ = [
+    "PlaError",
+    "dump_pla",
+    "load_pla_esop",
+    "load_pla_table",
+    "RealFormatError",
+    "dump_real",
+    "load_real",
+]

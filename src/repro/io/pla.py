@@ -1,0 +1,119 @@
+"""PLA truth-table files (Berkeley espresso format, ESOP flavour).
+
+The MCNC benchmarks the paper draws on (``rd53``, Sec. V-C) ship as PLA
+files.  This module reads single- and multi-output PLA descriptions
+into :class:`~repro.functions.truth_table.TruthTable` objects (for the
+embedding flow) or :class:`~repro.esop.cover.EsopCover` objects (for
+the ESOP flow), and writes them back.
+
+Supported directives: ``.i``, ``.o``, ``.p`` (optional), ``.type``
+(``fr``/``esop`` accepted), ``.ilb``/``.ob`` (ignored), ``.e``/``.end``.
+Input cubes use ``0/1/-``; output columns use ``0/1`` (and ``~``/``-``
+treated as 0 for type fr).
+"""
+
+from __future__ import annotations
+
+from repro.esop.cover import EsopCover
+from repro.esop.cube import Cube
+from repro.functions.truth_table import TruthTable
+
+__all__ = ["PlaError", "load_pla_table", "load_pla_esop", "dump_pla"]
+
+
+class PlaError(ValueError):
+    """Raised on malformed PLA input."""
+
+
+def _parse_header(text: str):
+    num_inputs = num_outputs = None
+    pla_type = "fr"
+    cube_lines: list[tuple[int, str, str]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if directive == ".i":
+                num_inputs = int(rest)
+            elif directive == ".o":
+                num_outputs = int(rest)
+            elif directive == ".type":
+                pla_type = rest
+            elif directive in (".p", ".ilb", ".ob", ".e", ".end"):
+                pass
+            else:
+                raise PlaError(
+                    f"line {line_number}: unsupported directive {directive}"
+                )
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise PlaError(
+                f"line {line_number}: expected '<inputs> <outputs>', "
+                f"got {line!r}"
+            )
+        cube_lines.append((line_number, parts[0], parts[1]))
+    if num_inputs is None or num_outputs is None:
+        raise PlaError("missing .i or .o header")
+    return num_inputs, num_outputs, pla_type, cube_lines
+
+
+def load_pla_table(text: str) -> TruthTable:
+    """Read a PLA file as a completely specified truth table.
+
+    Cubes are interpreted as an OR cover per output (``.type fr``
+    semantics, the MCNC default); unlisted input patterns map to output
+    0.
+    """
+    num_inputs, num_outputs, _type, cube_lines = _parse_header(text)
+    rows = [0] * (1 << num_inputs)
+    for line_number, in_text, out_text in cube_lines:
+        if len(in_text) != num_inputs or len(out_text) != num_outputs:
+            raise PlaError(f"line {line_number}: column count mismatch")
+        cube = Cube.from_string(in_text)
+        word = 0
+        for position, symbol in enumerate(reversed(out_text)):
+            if symbol == "1":
+                word |= 1 << position
+            elif symbol not in "0~-":
+                raise PlaError(
+                    f"line {line_number}: bad output symbol {symbol!r}"
+                )
+        for assignment in range(1 << num_inputs):
+            if cube.evaluate(assignment):
+                rows[assignment] |= word
+    return TruthTable(num_inputs, num_outputs, rows)
+
+
+def load_pla_esop(text: str, output: int = 0) -> EsopCover:
+    """Read one output column of an ESOP-type PLA as an
+    :class:`EsopCover` (cubes combine by XOR)."""
+    num_inputs, num_outputs, _type, cube_lines = _parse_header(text)
+    if not 0 <= output < num_outputs:
+        raise PlaError(f"output index {output} out of range")
+    cubes = []
+    for line_number, in_text, out_text in cube_lines:
+        if len(in_text) != num_inputs or len(out_text) != num_outputs:
+            raise PlaError(f"line {line_number}: column count mismatch")
+        if out_text[num_outputs - 1 - output] == "1":
+            cubes.append(Cube.from_string(in_text))
+    return EsopCover(num_inputs, cubes)
+
+
+def dump_pla(table: TruthTable, pla_type: str = "fr") -> str:
+    """Write a truth table as a (minterm) PLA file."""
+    lines = [f".i {table.num_inputs}", f".o {table.num_outputs}"]
+    if pla_type:
+        lines.append(f".type {pla_type}")
+    for assignment in range(1 << table.num_inputs):
+        word = table(assignment)
+        if word == 0:
+            continue
+        in_text = format(assignment, f"0{table.num_inputs}b")
+        out_text = format(word, f"0{table.num_outputs}b")
+        lines.append(f"{in_text} {out_text}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

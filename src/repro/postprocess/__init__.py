@@ -1,0 +1,20 @@
+"""Post-synthesis circuit simplification (templates / peephole) and
+Fredkin extraction (the paper's future-work item)."""
+
+from repro.postprocess.fredkin_extract import (
+    extract_fredkin,
+    match_fredkin_triple,
+)
+from repro.postprocess.templates import (
+    cancel_duplicates,
+    peephole_optimize,
+    simplify,
+)
+
+__all__ = [
+    "extract_fredkin",
+    "match_fredkin_triple",
+    "cancel_duplicates",
+    "peephole_optimize",
+    "simplify",
+]

@@ -1,0 +1,109 @@
+"""Product terms of a PPRM expansion.
+
+A term is a conjunction of positive literals, stored as an ``int`` bit
+mask (see :mod:`repro.utils.bitops`).  Variable ``0`` is named ``a`` and
+is the least-significant bit of an assignment, matching the rightmost
+column of the paper's truth tables (Fig. 1 orders columns ``c b a``).
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.utils.bitops import bits_of, popcount
+
+__all__ = [
+    "CONSTANT_ONE",
+    "literal_count",
+    "contains_variable",
+    "without_variable",
+    "term_product",
+    "evaluate_term",
+    "variable_name",
+    "variable_index",
+    "format_term",
+    "term_sort_key",
+]
+
+#: The mask of the constant-1 term (the empty product).
+CONSTANT_ONE = 0
+
+_ASCII_NAMES = string.ascii_lowercase
+
+
+def literal_count(term: int) -> int:
+    """Return the number of literals in ``term`` (0 for the constant 1).
+
+    This is the ``factor.literalCount`` quantity of the paper's priority
+    function (4): the number of control bits of the corresponding Toffoli
+    gate.
+    """
+    return popcount(term)
+
+
+def contains_variable(term: int, index: int) -> bool:
+    """Return ``True`` if literal ``x_index`` appears in ``term``."""
+    return bool(term >> index & 1)
+
+
+def without_variable(term: int, index: int) -> int:
+    """Return ``term`` with literal ``x_index`` removed (if present)."""
+    return term & ~(1 << index)
+
+
+def term_product(left: int, right: int) -> int:
+    """Return the product of two terms.
+
+    Products of positive literals are idempotent (``a * a = a``), so the
+    product is simply the union of the literal sets.
+    """
+    return left | right
+
+
+def evaluate_term(term: int, assignment: int) -> int:
+    """Evaluate ``term`` (0 or 1) under the given input ``assignment``.
+
+    The term is 1 exactly when every literal of the term is 1 in the
+    assignment; the constant-1 term always evaluates to 1.
+    """
+    return 1 if term & assignment == term else 0
+
+
+def variable_name(index: int, num_vars: int | None = None) -> str:
+    """Return the display name of variable ``index``.
+
+    The first 26 variables are named ``a``..``z`` as in the paper; beyond
+    that the name falls back to ``x26``, ``x27``, ...
+    """
+    if index < 0:
+        raise ValueError(f"variable index must be non-negative, got {index}")
+    if index < len(_ASCII_NAMES):
+        return _ASCII_NAMES[index]
+    return f"x{index}"
+
+
+def variable_index(name: str) -> int:
+    """Return the variable index for a display name (inverse of
+    :func:`variable_name`)."""
+    name = name.strip()
+    if len(name) == 1 and name in _ASCII_NAMES:
+        return _ASCII_NAMES.index(name)
+    if name.startswith("x") and name[1:].isdigit():
+        return int(name[1:])
+    raise ValueError(f"unrecognized variable name: {name!r}")
+
+
+def format_term(term: int) -> str:
+    """Format a term the way the paper writes it, e.g. ``abc`` or ``1``."""
+    if term == CONSTANT_ONE:
+        return "1"
+    return "".join(variable_name(index) for index in bits_of(term))
+
+
+def term_sort_key(term: int) -> tuple[int, int]:
+    """Sort key ordering terms by degree then lexicographically.
+
+    Produces the paper's presentation order: the constant first, then
+    linear terms, then quadratic terms, and so on (equation (2)).
+    """
+    return (popcount(term), term)

@@ -1,0 +1,103 @@
+"""Bidirectional RMRLS: synthesize the function or its inverse.
+
+Miller et al.'s method [7] synthesizes from both ends of the cascade;
+RMRLS as published works from the inputs only.  The same leverage is
+available compositionally: if a cascade ``C`` realizes ``f^-1``, the
+reversed cascade ``C^-1`` (Toffoli gates are involutions) realizes
+``f``.  The PPRM landscape of ``f`` and ``f^-1`` can differ wildly —
+the paper's own 5one013 benchmark resists forward search for hundreds
+of thousands of steps yet its inverse synthesizes in seconds (see
+EXPERIMENTS.md) — so trying both directions is a cheap, sound
+portfolio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import SynthesisResult, synthesize
+
+__all__ = ["BidirectionalResult", "synthesize_bidirectional"]
+
+
+@dataclass
+class BidirectionalResult:
+    """Outcome of a two-direction synthesis attempt.
+
+    ``direction`` is ``"forward"`` or ``"inverse"`` for the winning
+    attempt (``None`` when both failed); ``forward``/``inverse`` hold
+    the underlying per-direction results (``inverse`` is ``None`` when
+    that direction was skipped).
+    """
+
+    circuit: Circuit | None
+    direction: str | None
+    forward: SynthesisResult
+    inverse: SynthesisResult | None
+
+    @property
+    def solved(self) -> bool:
+        """True when either direction produced a circuit."""
+        return self.circuit is not None
+
+    @property
+    def gate_count(self) -> int | None:
+        """Gates in the winning circuit (None when unsolved)."""
+        return None if self.circuit is None else self.circuit.gate_count()
+
+
+def synthesize_bidirectional(
+    specification: Permutation,
+    options: SynthesisOptions | None = None,
+    always_try_inverse: bool = False,
+    **option_changes,
+) -> BidirectionalResult:
+    """Synthesize ``specification`` trying both cascade directions.
+
+    The forward direction runs first; the inverse runs when the forward
+    attempt fails (or always, with ``always_try_inverse=True``, to take
+    the shorter of the two circuits).  The returned circuit always
+    realizes ``specification`` itself — an inverse-direction win is
+    reversed before returning — and is re-verified here.
+    """
+    if options is None:
+        options = SynthesisOptions()
+    if option_changes:
+        options = options.with_(**option_changes)
+    if not isinstance(specification, Permutation):
+        raise TypeError(
+            "bidirectional synthesis needs an invertible specification "
+            "(a Permutation); PPRM-only systems cannot be inverted "
+            "symbolically"
+        )
+
+    forward = synthesize(specification, options)
+    best_circuit = forward.circuit
+    direction = "forward" if forward.solved else None
+
+    inverse_result: SynthesisResult | None = None
+    if always_try_inverse or not forward.solved:
+        inverse_result = synthesize(specification.inverse(), options)
+        if inverse_result.solved:
+            reversed_circuit = inverse_result.circuit.inverse()
+            if (
+                best_circuit is None
+                or reversed_circuit.gate_count() < best_circuit.gate_count()
+            ):
+                best_circuit = reversed_circuit
+                direction = "inverse"
+
+    if best_circuit is not None and not best_circuit.implements(
+        specification
+    ):  # pragma: no cover - inversion algebra is exercised in tests
+        raise AssertionError("bidirectional result failed verification")
+
+    return BidirectionalResult(
+        circuit=best_circuit,
+        direction=direction,
+        forward=forward,
+        inverse=inverse_result,
+    )

@@ -1,0 +1,84 @@
+"""Naive PPRM synthesis — the strawman of Sec. I.
+
+"A naive algorithm would simply use as many gates as there are terms in
+the Reed-Muller expansion of the function" — each PPRM term of each
+output becomes one Toffoli gate targeting that output.  This only works
+directly when no term of output ``i`` contains ``v_i`` other than the
+linear term itself; in general the gates for output ``i`` would disturb
+inputs other outputs still need, so the naive method processes outputs
+in an order that avoids clobbering (and fails when no such order
+exists).  It serves as the no-sharing baseline for gate-count
+comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.gates.toffoli import ToffoliGate
+from repro.pprm.system import PPRMSystem
+from repro.utils.bitops import bit
+
+__all__ = ["naive_synthesize", "naive_gate_count"]
+
+
+def naive_gate_count(system: PPRMSystem) -> int:
+    """Gates the naive method would spend: one per non-identity term."""
+    total = 0
+    for index, expansion in enumerate(system.outputs):
+        for term in expansion.terms:
+            if term != bit(index):
+                total += 1
+    return total
+
+
+def naive_synthesize(system: PPRMSystem) -> Circuit | None:
+    """One-gate-per-term synthesis, when a safe output order exists.
+
+    Repeatedly picks an output whose remaining correction terms do not
+    involve any not-yet-finalized variable's value being consumed later
+    — concretely, output ``i`` can be finalized when every other
+    pending output's expansion is independent of ``v_i`` or the
+    correction terms for ``i`` avoid all pending variables.  Returns
+    ``None`` when the greedy ordering gets stuck (the common case for
+    entangled functions — exactly the weakness Sec. I points out).
+    """
+    num_vars = system.num_vars
+    pending = set(range(num_vars))
+    gates: list[ToffoliGate] = []
+    current = system
+
+    while pending:
+        progressed = False
+        for index in sorted(pending):
+            expansion = current.output(index)
+            if not expansion.contains_term(bit(index)):
+                continue
+            corrections = [
+                term for term in expansion.terms if term != bit(index)
+            ]
+            # Finalizing output i applies its corrections to line i; that
+            # changes variable i, so every other pending output must not
+            # depend on v_i.
+            others_use_target = any(
+                current.output(other).support() & bit(index)
+                for other in pending
+                if other != index
+            )
+            if others_use_target:
+                continue
+            if any(term & bit(index) for term in corrections):
+                continue
+            system_after = current
+            for term in corrections:
+                gates.append(ToffoliGate(term, index))
+                system_after = system_after.substitute(index, term)
+            current = system_after
+            pending.discard(index)
+            progressed = True
+            break
+        if not progressed:
+            return None
+
+    if not current.is_identity():
+        return None
+    return Circuit(num_vars, gates)

@@ -1,0 +1,80 @@
+"""NCTS-flavoured synthesis: RMRLS plus Fredkin extraction.
+
+Table I shows the NCTS library (SWAP added) beating plain NCT, and the
+paper's future work proposes incorporating Fredkin gates ("a Fredkin
+gate is equivalent to three Toffoli gates.  Thus, the use of Fredkin
+gates could yield a significant improvement in circuit quality",
+Sec. VI).  This wrapper delivers the improvement compositionally: run
+RMRLS as usual, compact the Toffoli cascade with the template
+simplifier, then fold Fredkin/SWAP triples into single gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.postprocess.fredkin_extract import extract_fredkin
+from repro.postprocess.templates import simplify
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import SynthesisResult, synthesize
+
+__all__ = ["NctsResult", "synthesize_ncts"]
+
+
+@dataclass
+class NctsResult:
+    """Outcome of NCTS synthesis.
+
+    ``circuit`` may contain Fredkin/SWAP gates; ``toffoli_circuit`` is
+    the pure-Toffoli cascade it was folded from.
+    """
+
+    circuit: Circuit | None
+    toffoli_circuit: Circuit | None
+    base: SynthesisResult
+
+    @property
+    def solved(self) -> bool:
+        """True when a circuit was found."""
+        return self.circuit is not None
+
+    @property
+    def gate_count(self) -> int | None:
+        """Gates in the folded circuit (None when unsolved)."""
+        return None if self.circuit is None else self.circuit.gate_count()
+
+    @property
+    def fredkin_count(self) -> int:
+        """Number of Fredkin/SWAP gates extracted."""
+        if self.circuit is None:
+            return 0
+        from repro.gates.fredkin import FredkinGate
+
+        return sum(
+            1 for gate in self.circuit.gates
+            if isinstance(gate, FredkinGate)
+        )
+
+
+def synthesize_ncts(
+    specification,
+    options: SynthesisOptions | None = None,
+    use_templates: bool = True,
+    **option_changes,
+) -> NctsResult:
+    """Synthesize into the NCTS-style gate set.
+
+    Same inputs as :func:`~repro.synth.rmrls.synthesize`.  The result's
+    circuit computes the same function as the Toffoli cascade (the
+    extraction is a definitional rewrite), with Fredkin/SWAP gates
+    wherever the cascade contained their 3-Toffoli expansions.
+    """
+    base = synthesize(specification, options, **option_changes)
+    if base.circuit is None:
+        return NctsResult(circuit=None, toffoli_circuit=None, base=base)
+    toffoli = base.circuit
+    if use_templates and toffoli.num_lines <= 12:
+        toffoli = simplify(toffoli)
+    folded = extract_fredkin(toffoli)
+    return NctsResult(circuit=folded, toffoli_circuit=toffoli, base=base)

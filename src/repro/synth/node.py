@@ -1,0 +1,118 @@
+"""Search-tree nodes (Fig. 4, lines 5-11 and 22-27).
+
+A node records the substitution that produced it (``target``,
+``factor``), its ``depth`` (= gates so far), the resulting PPRM system,
+and the bookkeeping quantities ``terms`` and ``elim``.  Following the
+memory optimization of Sec. IV-C, a node's PPRM system is released once
+the node has been expanded — only leaves (queue candidates) hold full
+expansions, interior nodes keep just their substitution.
+"""
+
+from __future__ import annotations
+
+from repro.gates.toffoli import ToffoliGate
+from repro.pprm.system import PPRMSystem
+from repro.pprm.term import format_term, variable_name
+
+__all__ = ["SearchNode"]
+
+
+class SearchNode:
+    """One node of the RMRLS search tree."""
+
+    __slots__ = (
+        "parent",
+        "depth",
+        "progress_depth",
+        "target",
+        "factor",
+        "pprm",
+        "terms",
+        "elim",
+        "priority",
+        "node_id",
+    )
+
+    def __init__(
+        self,
+        parent: "SearchNode | None",
+        target: int | None,
+        factor: int | None,
+        pprm: PPRMSystem,
+        terms: int,
+        elim: int,
+        priority: float,
+        node_id: int,
+    ):
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        # Number of term-decreasing substitutions along the path (used
+        # by the progress-depth priority; see SynthesisOptions).
+        if parent is None:
+            self.progress_depth = 0
+        else:
+            self.progress_depth = parent.progress_depth + (1 if elim > 0 else 0)
+        self.target = target
+        self.factor = factor
+        self.pprm = pprm
+        self.terms = terms
+        self.elim = elim
+        self.priority = priority
+        self.node_id = node_id
+
+    @classmethod
+    def root(cls, pprm: PPRMSystem, node_id: int = 0) -> "SearchNode":
+        """Create the root node (Fig. 4, lines 5-11)."""
+        return cls(
+            parent=None,
+            target=None,
+            factor=None,
+            pprm=pprm,
+            terms=pprm.term_count(),
+            elim=0,
+            priority=float("inf"),
+            node_id=node_id,
+        )
+
+    def is_root(self) -> bool:
+        """True for the search-tree root."""
+        return self.parent is None
+
+    def release_pprm(self) -> None:
+        """Drop the PPRM system (Sec. IV-C memory optimization)."""
+        if not self.is_root():
+            self.pprm = None
+
+    def gate(self) -> ToffoliGate:
+        """The Toffoli gate of this node's substitution."""
+        if self.is_root():
+            raise ValueError("the root node carries no substitution")
+        return ToffoliGate(self.factor, self.target)
+
+    def gate_sequence(self) -> list[ToffoliGate]:
+        """Gates along the root-to-this-node path, in circuit order.
+
+        The path spells the synthesized cascade: the substitution at
+        depth 1 is the gate closest to the circuit inputs.
+        """
+        gates: list[ToffoliGate] = []
+        node: SearchNode | None = self
+        while node is not None and not node.is_root():
+            gates.append(node.gate())
+            node = node.parent
+        gates.reverse()
+        return gates
+
+    def substitution_string(self) -> str:
+        """Human-readable substitution, e.g. ``b = b + ac``."""
+        if self.is_root():
+            return "(root)"
+        name = variable_name(self.target)
+        return f"{name} = {name} + {format_term(self.factor)}"
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchNode(id={self.node_id}, depth={self.depth}, "
+            f"sub={self.substitution_string()!r}, terms={self.terms}, "
+            f"elim={self.elim}, priority={self.priority:.4f})"
+        )

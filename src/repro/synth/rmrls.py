@@ -1,0 +1,347 @@
+"""The RMRLS synthesis algorithm (Fig. 4 of the paper).
+
+Best-first search over substitution sequences that reduce a PPRM system
+to the identity.  Each accepted substitution is one Toffoli gate; the
+root-to-solution path, in order, is the synthesized cascade.
+
+The implementation follows Fig. 4 line by line, with the Sec. IV-D
+extended substitutions and the Sec. IV-E heuristics (greedy per-variable
+pruning, restarts from alternative first-level substitutions) available
+through :class:`~repro.synth.options.SynthesisOptions`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.pprm.system import PPRMSystem
+from repro.synth.node import SearchNode
+from repro.synth.options import SynthesisOptions
+from repro.synth.priority import MaxPriorityQueue, node_priority
+from repro.synth.stats import SearchStats, TraceRecorder
+from repro.synth.substitutions import enumerate_substitutions
+from repro.utils.bitops import popcount
+from repro.utils.timer import Deadline
+
+__all__ = ["SynthesisResult", "synthesize"]
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one RMRLS run.
+
+    ``circuit`` is ``None`` when synthesis failed within its budget
+    (time limit, step limit, or exhausted queue under the heuristics);
+    Sec. IV-F guarantees that the basic algorithm without budgets never
+    fails.
+    """
+
+    circuit: Circuit | None
+    stats: SearchStats
+    options: SynthesisOptions
+    num_vars: int
+    trace: TraceRecorder | None = None
+
+    @property
+    def solved(self) -> bool:
+        """True when a circuit was found."""
+        return self.circuit is not None
+
+    @property
+    def gate_count(self) -> int | None:
+        """Gate count of the solution (``None`` if unsolved)."""
+        return None if self.circuit is None else self.circuit.gate_count()
+
+    def verify(self, specification: Permutation) -> bool:
+        """Re-simulate the circuit against a specification."""
+        return self.circuit is not None and self.circuit.implements(
+            specification
+        )
+
+
+def _as_system(specification) -> PPRMSystem:
+    if isinstance(specification, PPRMSystem):
+        return specification
+    if isinstance(specification, Permutation):
+        return specification.to_pprm()
+    if isinstance(specification, Sequence):
+        return Permutation(specification).to_pprm()
+    raise TypeError(
+        "specification must be a PPRMSystem, Permutation, or image list; "
+        f"got {type(specification).__name__}"
+    )
+
+
+class _Search:
+    """Mutable state of one synthesis run (one instance per call)."""
+
+    def __init__(self, system: PPRMSystem, options: SynthesisOptions):
+        self.options = options
+        self.system = system
+        self.stats = SearchStats(initial_terms=system.term_count())
+        self.trace = TraceRecorder() if options.record_trace else None
+        self.deadline = Deadline(options.time_limit)
+        self.queue = MaxPriorityQueue()
+        self.best_depth = (
+            math.inf if options.max_gates is None else options.max_gates + 1
+        )
+        self.best_node: SearchNode | None = None
+        self.next_node_id = 0
+        self.root = self._make_root(system)
+        self.first_level: list[SearchNode] = []
+        self.next_restart_index = 0
+        self.steps_since_restart = 0
+        # Depth-aware duplicate table: state -> shallowest depth seen.
+        # A state reached again at the same or a greater depth leads to
+        # the same or a worse subtree, so the duplicate can be dropped
+        # without losing solutions.
+        self.visited: dict[PPRMSystem, int] | None = (
+            {system: 0} if options.dedupe_states else None
+        )
+
+    # -- node plumbing ----------------------------------------------------
+
+    def _make_root(self, system: PPRMSystem) -> SearchNode:
+        root = SearchNode.root(system, node_id=self._claim_id())
+        self.stats.nodes_created += 1
+        return root
+
+    def _claim_id(self) -> int:
+        node_id = self.next_node_id
+        self.next_node_id += 1
+        return node_id
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SearchNode | None:
+        """Execute the Fig. 4 loop; return the best solution node."""
+        if self.system.is_identity():
+            return self.root
+        self.queue.push(self.root)
+        while True:
+            if self.queue.is_empty() and not self._try_restart(forced=True):
+                break
+            if self.deadline.is_expired():
+                self.stats.timed_out = True
+                break
+            if (
+                self.options.max_steps is not None
+                and self.stats.steps >= self.options.max_steps
+            ):
+                self.stats.step_limited = True
+                break
+            if (
+                self.options.restart_steps is not None
+                and self.best_node is None
+                and self.steps_since_restart >= self.options.restart_steps
+                and self._try_restart(forced=False)
+            ):
+                continue
+
+            self.stats.steps += 1
+            self.steps_since_restart += 1
+            parent = self.queue.pop()
+            if self.trace is not None:
+                self.trace.record("pop", parent)
+            if parent.depth >= self.best_depth - 1:
+                self.stats.nodes_pruned_depth += 1
+                if self.trace is not None:
+                    self.trace.record("prune", parent)
+                continue
+            self._expand(parent)
+            if self.options.stop_at_first and self.best_node is not None:
+                break
+        return self.best_node
+
+    # -- expansion ----------------------------------------------------------------
+
+    def _expand(self, parent: SearchNode) -> None:
+        self.stats.nodes_expanded += 1
+        options = self.options
+        candidates = enumerate_substitutions(parent.pprm, options)
+        evaluated: list[tuple] = []
+        any_decreasing = False
+        depth = parent.depth + 1
+        for candidate in candidates:
+            child_system = parent.pprm.substitute(
+                candidate.target, candidate.factor
+            )
+            terms = child_system.term_count()
+            elim = parent.terms - terms
+            if child_system.is_identity():
+                if depth < self.best_depth:
+                    child = self._make_child(
+                        parent, candidate, child_system, terms, elim, 0.0
+                    )
+                    self.best_depth = depth
+                    self.best_node = child
+                    self.stats.solutions_found += 1
+                    if self.trace is not None:
+                        self.trace.record("solution", child, parent)
+                    if options.stop_at_first:
+                        return
+                continue
+            if elim > 0:
+                any_decreasing = True
+            evaluated.append((candidate, child_system, terms, elim))
+
+        # children grouped per target variable for greedy pruning
+        per_variable: dict[int, list[SearchNode]] = {}
+        for candidate, child_system, terms, elim in evaluated:
+            if elim <= 0 and not candidate.allow_growth:
+                # Fig. 4 line 31 discards growth children; the Sec. IV-F
+                # convergence proof keeps them.  We keep them only when
+                # the node is otherwise stuck (no decreasing child).
+                if any_decreasing or not options.growth_when_stuck:
+                    self.stats.children_rejected_growth += 1
+                    continue
+            if depth >= self.best_depth - 1:
+                # The pop-time depth prune (Fig. 4 line 16) would discard
+                # this child anyway; dropping it now saves queue traffic.
+                self.stats.nodes_pruned_depth += 1
+                continue
+            if options.lower_bound_pruning:
+                unsolved = child_system.num_vars - child_system.solved_outputs()
+                if depth + unsolved >= self.best_depth:
+                    self.stats.nodes_pruned_depth += 1
+                    continue
+            if self.visited is not None:
+                known_depth = self.visited.get(child_system)
+                if known_depth is not None and known_depth <= depth:
+                    continue
+                self.visited[child_system] = depth
+            priority_elim = (
+                self.stats.initial_terms - terms
+                if options.cumulative_elim_priority
+                else elim
+            )
+            if options.progress_depth_priority:
+                priority_depth = max(
+                    1, parent.progress_depth + (1 if elim > 0 else 0)
+                )
+            else:
+                priority_depth = depth
+            priority = node_priority(
+                priority_depth, priority_elim, popcount(candidate.factor), options
+            )
+            child = self._make_child(
+                parent, candidate, child_system, terms, elim, priority
+            )
+            per_variable.setdefault(candidate.target, []).append(child)
+
+        for children in per_variable.values():
+            if options.greedy_k is not None and len(children) > options.greedy_k:
+                children.sort(key=lambda node: node.priority, reverse=True)
+                dropped = children[options.greedy_k :]
+                self.stats.children_pruned_greedy += len(dropped)
+                children = children[: options.greedy_k]
+            for child in children:
+                if parent.is_root():
+                    self.first_level.append(child)
+                self.queue.push(child)
+                self.stats.peak_queue_size = max(
+                    self.stats.peak_queue_size, len(self.queue)
+                )
+        parent.release_pprm()
+
+    def _make_child(
+        self, parent, candidate, child_system, terms, elim, priority
+    ) -> SearchNode:
+        child = SearchNode(
+            parent=parent,
+            target=candidate.target,
+            factor=candidate.factor,
+            pprm=child_system,
+            terms=terms,
+            elim=elim,
+            priority=priority,
+            node_id=self._claim_id(),
+        )
+        self.stats.nodes_created += 1
+        if self.trace is not None:
+            self.trace.record("create", child, parent)
+        return child
+
+    # -- restarts (Sec. IV-E) ----------------------------------------------------------
+
+    def _try_restart(self, forced: bool) -> bool:
+        """Restart from the next untried first-level substitution.
+
+        ``forced`` restarts happen when the queue empties without a
+        solution (possible under greedy pruning); unforced ones when the
+        step counter trips.  Returns ``False`` when no alternatives
+        remain or restarting is pointless (a solution already exists).
+        """
+        if self.options.restart_steps is None and not forced:
+            return False
+        if (
+            forced
+            and self.options.restart_steps is None
+            and self.options.greedy_k is None
+        ):
+            # Basic algorithm: an exhausted queue is a definitive
+            # answer; restarting would deterministically repeat it.
+            return False
+        if self.best_node is not None:
+            return False
+        if self.stats.restarts >= self.options.max_restarts:
+            return False
+        if not self.first_level:
+            return False
+        ordered = sorted(
+            self.first_level, key=lambda node: node.priority, reverse=True
+        )
+        if self.next_restart_index >= len(ordered):
+            return False
+        seed = ordered[self.next_restart_index]
+        self.next_restart_index += 1
+        if seed.pprm is None:
+            # Already expanded on a previous pass; recompute its system
+            # from the root (the root keeps its PPRM precisely for this).
+            seed.pprm = self.root.pprm.substitute(seed.target, seed.factor)
+        self.queue.clear()
+        self.queue.push(seed)
+        self.stats.restarts += 1
+        self.steps_since_restart = 0
+        if self.trace is not None:
+            self.trace.record("restart", seed)
+        return True
+
+
+def synthesize(
+    specification,
+    options: SynthesisOptions | None = None,
+    **option_changes,
+) -> SynthesisResult:
+    """Synthesize a reversible specification into a Toffoli cascade.
+
+    ``specification`` may be a :class:`Permutation`, a raw image list
+    (the paper's ``{1, 0, 7, 2, ...}`` notation), or a prepared
+    :class:`PPRMSystem`.  Keyword arguments are shorthand for option
+    fields, e.g. ``synthesize(spec, greedy_k=1, time_limit=60)``.
+
+    Returns a :class:`SynthesisResult`; check ``result.solved`` (the
+    heuristics may fail within a budget, Sec. IV-F).
+    """
+    if options is None:
+        options = SynthesisOptions()
+    if option_changes:
+        options = options.with_(**option_changes)
+    system = _as_system(specification)
+    search = _Search(system, options)
+    best = search.run()
+    search.stats.elapsed_seconds = search.deadline.elapsed()
+    circuit = None
+    if best is not None:
+        circuit = Circuit(system.num_vars, best.gate_sequence())
+    return SynthesisResult(
+        circuit=circuit,
+        stats=search.stats,
+        options=options,
+        num_vars=system.num_vars,
+        trace=search.trace,
+    )

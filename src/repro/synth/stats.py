@@ -1,0 +1,154 @@
+"""Search statistics and optional trace recording.
+
+:class:`SearchStats` summarizes a run for the experiment tables;
+:class:`TraceRecorder` captures the search-tree events needed to
+regenerate Figs. 5 and 6 (node creation with priorities, pops, pruning
+decisions, solutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats", "TraceEvent", "TraceRecorder"]
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated over one synthesis run."""
+
+    steps: int = 0
+    nodes_created: int = 0
+    nodes_expanded: int = 0
+    nodes_pruned_depth: int = 0
+    children_rejected_growth: int = 0
+    children_pruned_greedy: int = 0
+    solutions_found: int = 0
+    restarts: int = 0
+    peak_queue_size: int = 0
+    elapsed_seconds: float = 0.0
+    initial_terms: int = 0
+    timed_out: bool = False
+    step_limited: bool = False
+
+    def as_dict(self) -> dict:
+        """Return a plain-dict view for report serialization."""
+        return {
+            "steps": self.steps,
+            "nodes_created": self.nodes_created,
+            "nodes_expanded": self.nodes_expanded,
+            "nodes_pruned_depth": self.nodes_pruned_depth,
+            "children_rejected_growth": self.children_rejected_growth,
+            "children_pruned_greedy": self.children_pruned_greedy,
+            "solutions_found": self.solutions_found,
+            "restarts": self.restarts,
+            "peak_queue_size": self.peak_queue_size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "initial_terms": self.initial_terms,
+            "timed_out": self.timed_out,
+            "step_limited": self.step_limited,
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One search event: ``kind`` is ``create``, ``pop``, ``prune``,
+    ``solution``, or ``restart``."""
+
+    kind: str
+    node_id: int
+    parent_id: int | None
+    depth: int
+    substitution: str
+    terms: int
+    elim: int
+    priority: float
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` items when tracing is enabled."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, node, parent=None) -> None:
+        """Record one event for ``node``."""
+        self.events.append(
+            TraceEvent(
+                kind=kind,
+                node_id=node.node_id,
+                parent_id=None if parent is None else parent.node_id,
+                depth=node.depth,
+                substitution=node.substitution_string(),
+                terms=node.terms,
+                elim=node.elim,
+                priority=node.priority,
+            )
+        )
+
+    def render(self) -> str:
+        """Render the trace as the Fig. 5-style narration."""
+        lines = []
+        for event in self.events:
+            if event.kind == "create":
+                lines.append(
+                    f"  create node {event.node_id} (parent "
+                    f"{event.parent_id}, depth {event.depth}): "
+                    f"{event.substitution}  [terms={event.terms}, "
+                    f"elim={event.elim}, priority={event.priority:.3f}]"
+                )
+            elif event.kind == "pop":
+                lines.append(
+                    f"pop node {event.node_id} (depth {event.depth}, "
+                    f"priority {event.priority:.3f})"
+                )
+            elif event.kind == "prune":
+                lines.append(
+                    f"prune node {event.node_id} (depth {event.depth} "
+                    "cannot beat the best solution)"
+                )
+            elif event.kind == "solution":
+                lines.append(
+                    f"* solution at node {event.node_id}, depth "
+                    f"{event.depth}: {event.substitution}"
+                )
+            elif event.kind == "restart":
+                lines.append(
+                    f"restart from first-level node {event.node_id}"
+                )
+        return "\n".join(lines)
+
+    def to_dot(self, max_nodes: int = 200) -> str:
+        """Render the search tree as Graphviz DOT (Fig. 5-style).
+
+        Nodes show the substitution and the (terms, elim, priority)
+        triple; solution nodes are doubly circled.  Only the first
+        ``max_nodes`` created nodes are drawn to keep the graph
+        readable.
+        """
+        created: dict[int, TraceEvent] = {}
+        solutions: set[int] = set()
+        for event in self.events:
+            if event.kind == "create" and event.node_id not in created:
+                if len(created) < max_nodes:
+                    created[event.node_id] = event
+            elif event.kind == "solution":
+                solutions.add(event.node_id)
+                if event.node_id not in created and len(created) < max_nodes:
+                    created[event.node_id] = event
+
+        lines = ["digraph search {", "  rankdir=TB;", '  node [shape=box];']
+        lines.append(
+            '  n0 [label="root", shape=ellipse];'
+        )
+        for node_id, event in created.items():
+            shape = ", peripheries=2" if node_id in solutions else ""
+            label = (
+                f"{event.substitution}\\nterms={event.terms} "
+                f"elim={event.elim}\\npriority={event.priority:.2f}"
+            )
+            lines.append(f'  n{node_id} [label="{label}"{shape}];')
+            if event.parent_id is not None:
+                lines.append(f"  n{event.parent_id} -> n{node_id};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Candidate substitution enumeration (Sec. IV-A and IV-D).
+
+A substitution ``v_i := v_i XOR factor`` is the algebraic image of a
+Toffoli gate with target ``v_i`` and the factor's literals as controls.
+Three kinds are generated:
+
+1. *basic* — ``factor`` is a term of ``v_out,i``'s expansion not
+   containing ``v_i``, and the linear term ``v_i`` is present in
+   ``v_out,i`` (Sec. IV-A);
+2. *extended* — same factor source with the presence requirement
+   dropped (Sec. IV-D, first bullet);
+3. *complement* — ``v_i := v_i XOR 1`` even when the constant 1 is not
+   a term of ``v_out,i`` (Sec. IV-D, second bullet).
+
+Whether a candidate may *increase* the term count is governed by
+``SynthesisOptions.growth_exempt_literals``: the paper's text grants the
+exception to the complement substitution only, but that rule provably
+cannot synthesize every function (a pure wire swap needs three CNOT
+gates whose term counts go 3 -> 4 -> 4 -> 3); the default additionally
+exempts CNOT factors, which restores the completeness Table I reports
+(verified exhaustively over all three-variable functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pprm.system import PPRMSystem
+from repro.pprm.term import CONSTANT_ONE
+from repro.synth.options import SynthesisOptions
+from repro.utils.bitops import bit, popcount
+
+__all__ = ["Candidate", "enumerate_substitutions"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate substitution: target variable, factor term, and
+    whether term growth is tolerated (see module docstring)."""
+
+    target: int
+    factor: int
+    allow_growth: bool
+
+
+def enumerate_substitutions(
+    system: PPRMSystem, options: SynthesisOptions
+) -> list[Candidate]:
+    """List the substitutions to try on ``system``.
+
+    The union of the kinds is *every* legal substitution (the
+    convergence argument of Sec. IV-F); the basic configuration
+    restricts to kind 1.
+    """
+    exempt = options.growth_exempt_literals
+    candidates: list[Candidate] = []
+    for target in range(system.num_vars):
+        expansion = system.output(target)
+        target_bit = bit(target)
+        linear_present = expansion.contains_term(target_bit)
+        if linear_present and expansion.term_count() == 1:
+            # Output already solved; un-solving a line is never
+            # productive.
+            continue
+        seen: set[int] = set()
+        if linear_present or options.extended_substitutions:
+            for factor in expansion.terms:
+                if factor & target_bit:
+                    continue
+                seen.add(factor)
+                candidates.append(
+                    Candidate(
+                        target=target,
+                        factor=factor,
+                        allow_growth=popcount(factor) <= exempt,
+                    )
+                )
+        if options.complement_substitutions and CONSTANT_ONE not in seen:
+            candidates.append(
+                Candidate(
+                    target=target,
+                    factor=CONSTANT_ONE,
+                    allow_growth=0 <= exempt,
+                )
+            )
+    return candidates

@@ -1,0 +1,35 @@
+"""Shared low-level utilities: bit twiddling, timers, table rendering."""
+
+from repro.utils.bitops import (
+    all_masks,
+    bit,
+    bits_of,
+    gray_code,
+    indices_of,
+    iter_subsets,
+    iter_supersets,
+    mask_from_indices,
+    parity,
+    popcount,
+    reverse_bits,
+)
+from repro.utils.tables import format_histogram, format_table
+from repro.utils.timer import Deadline, Stopwatch
+
+__all__ = [
+    "all_masks",
+    "bit",
+    "bits_of",
+    "gray_code",
+    "indices_of",
+    "iter_subsets",
+    "iter_supersets",
+    "mask_from_indices",
+    "parity",
+    "popcount",
+    "reverse_bits",
+    "format_histogram",
+    "format_table",
+    "Deadline",
+    "Stopwatch",
+]

@@ -1,0 +1,124 @@
+"""Bit-level helpers for product-term masks and assignments.
+
+Throughout the library a *product term* over variables ``0..n-1`` is an
+``int`` bit mask: bit ``i`` set means the positive literal ``x_i`` is
+present in the product.  The mask ``0`` denotes the constant-1 term.
+Input/output *assignments* use the same encoding: bit ``i`` of the
+integer holds the value of variable ``i``, so variable ``n-1`` is the
+paper's leftmost truth-table column.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = [
+    "popcount",
+    "bit",
+    "bits_of",
+    "iter_subsets",
+    "iter_supersets",
+    "mask_from_indices",
+    "indices_of",
+    "gray_code",
+    "parity",
+    "reverse_bits",
+    "all_masks",
+]
+
+
+def popcount(mask: int) -> int:
+    """Return the number of set bits (literals) in ``mask``."""
+    return mask.bit_count()
+
+
+def bit(index: int) -> int:
+    """Return the mask containing only variable ``index``."""
+    if index < 0:
+        raise ValueError(f"variable index must be non-negative, got {index}")
+    return 1 << index
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def indices_of(mask: int) -> tuple[int, ...]:
+    """Return the set-bit indices of ``mask`` as a tuple."""
+    return tuple(bits_of(mask))
+
+
+def mask_from_indices(indices) -> int:
+    """Build a mask from an iterable of variable indices.
+
+    Raises :class:`ValueError` on duplicate indices, since a product term
+    cannot contain the same literal twice.
+    """
+    mask = 0
+    for index in indices:
+        b = bit(index)
+        if mask & b:
+            raise ValueError(f"duplicate variable index {index}")
+        mask |= b
+    return mask
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask``, including ``0`` and ``mask`` itself.
+
+    Uses the standard descending sub-mask enumeration, which visits the
+    ``2**popcount(mask)`` subsets without allocating intermediate lists.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_supersets(mask: int, universe: int) -> Iterator[int]:
+    """Yield every superset of ``mask`` contained in ``universe``."""
+    if mask & ~universe:
+        raise ValueError("mask must be contained in universe")
+    free = universe & ~mask
+    for extra in iter_subsets(free):
+        yield mask | extra
+
+
+def gray_code(index: int) -> int:
+    """Return the ``index``-th binary-reflected Gray code word."""
+    if index < 0:
+        raise ValueError("Gray code index must be non-negative")
+    return index ^ (index >> 1)
+
+
+def parity(mask: int) -> int:
+    """Return 1 if ``mask`` has an odd number of set bits, else 0."""
+    return mask.bit_count() & 1
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Useful when converting between the paper's left-to-right column order
+    and this library's bit-``i``-is-variable-``i`` convention.
+    """
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def all_masks(num_vars: int) -> range:
+    """Return the range of every assignment/term mask over ``num_vars``."""
+    if num_vars < 0:
+        raise ValueError("number of variables must be non-negative")
+    return range(1 << num_vars)

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment drivers print paper-style tables (Tables I-VII) to the
+terminal; this module renders aligned ASCII tables without any third
+party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_histogram"]
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    align_first_left: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    ``None`` cells render as ``-`` (the paper's "result not available"
+    marker).  The first column is left-aligned (benchmark names), the
+    rest right-aligned (counts and costs), unless ``align_first_left``
+    is disabled.
+    """
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in text_rows), 0) if text_rows
+        else len(header)
+        for col, header in enumerate(headers)
+    ]
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if col == 0 and align_first_left:
+                parts.append(cell.ljust(widths[col]))
+            else:
+                parts.append(cell.rjust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(list(headers)))
+    lines.append(render(["-" * width for width in widths]))
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_histogram(
+    counts: dict[int, int],
+    label: str = "size",
+    value_label: str = "count",
+    title: str | None = None,
+) -> str:
+    """Render a ``{bucket: count}`` histogram as a two-column table."""
+    rows = [(key, counts[key]) for key in sorted(counts)]
+    return format_table([label, value_label], rows, title=title)

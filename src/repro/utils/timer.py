@@ -1,0 +1,76 @@
+"""Synthesis timers.
+
+The paper's algorithm (Fig. 4, line 4) creates a ``Timer`` with a
+pre-specified limit and polls ``Timer.isExpired()`` in the search loop.
+:class:`Deadline` reproduces that interface; :class:`Stopwatch` measures
+elapsed time for experiment reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["Deadline", "Stopwatch"]
+
+
+class Deadline:
+    """A countdown timer with an optional limit in seconds.
+
+    A ``limit`` of ``None`` (or ``math.inf``) never expires, matching the
+    basic algorithm run without a time budget.
+    """
+
+    def __init__(self, limit: float | None = None, clock=time.monotonic):
+        if limit is not None and limit < 0:
+            raise ValueError(f"time limit must be non-negative, got {limit}")
+        self._limit = math.inf if limit is None else float(limit)
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def limit(self) -> float:
+        """The configured limit in seconds (``math.inf`` if unlimited)."""
+        return self._limit
+
+    def elapsed(self) -> float:
+        """Return seconds elapsed since the deadline was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Return seconds left before expiry (may be negative)."""
+        return self._limit - self.elapsed()
+
+    def is_expired(self) -> bool:
+        """Return ``True`` once the limit has been reached."""
+        return self.elapsed() >= self._limit
+
+    def restart(self) -> None:
+        """Reset the countdown to the full limit."""
+        self._start = self._clock()
+
+    def __repr__(self) -> str:
+        return f"Deadline(limit={self._limit!r}, elapsed={self.elapsed():.3f}s)"
+
+
+class Stopwatch:
+    """Measure wall-clock durations for experiment reports."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._start = clock()
+
+    def restart(self) -> None:
+        """Reset the stopwatch to zero."""
+        self._start = self._clock()
+
+    def elapsed(self) -> float:
+        """Return seconds since creation or the last :meth:`restart`."""
+        return self._clock() - self._start
+
+    def __enter__(self) -> "Stopwatch":
+        self.restart()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop_time = self.elapsed()

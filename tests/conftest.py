@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.functions.permutation import Permutation
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global state."""
+    return random.Random(0xDA7E2004)
+
+
+@pytest.fixture
+def fig1_spec() -> Permutation:
+    """The paper's running example (Fig. 1)."""
+    return Permutation([1, 0, 7, 2, 3, 4, 5, 6])
+
+
+def random_spec(rng: random.Random, num_vars: int) -> Permutation:
+    """Draw one uniformly random reversible function."""
+    images = list(range(1 << num_vars))
+    rng.shuffle(images)
+    return Permutation(images)

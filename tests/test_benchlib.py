@@ -1,0 +1,172 @@
+"""Tests for the benchmark library: verbatim specs and reconstructions."""
+
+import pytest
+
+from repro.benchlib.generators import (
+    alu_function,
+    controlled_shifter,
+    decoder_2to4,
+    graycode,
+    hamming_encoder,
+    hidden_weighted_bit,
+    majority_function,
+    mod_adder,
+    modk_zero_detector,
+    ones_count_membership,
+    parity_function,
+    two_of_five,
+    weight_counter,
+    wraparound_shift,
+)
+from repro.benchlib.specs import all_benchmarks, benchmark, benchmark_names
+
+
+class TestPaperSpecs:
+    def test_all_paper_specs_are_reversible(self):
+        # Permutation validates bijectivity on construction; reaching
+        # here means every verbatim table parsed cleanly.
+        for spec in all_benchmarks().values():
+            if spec.permutation is not None:
+                assert spec.permutation.num_vars == spec.num_lines
+
+    def test_majority5_msb_is_majority(self):
+        spec = benchmark("majority5").permutation
+        for m in range(32):
+            expected = 1 if bin(m).count("1") >= 3 else 0
+            assert spec(m) >> 4 & 1 == expected
+
+    def test_5one013_predicate(self):
+        spec = benchmark("5one013").permutation
+        for m in range(32):
+            expected = 1 if bin(m).count("1") in (0, 1, 3) else 0
+            assert spec(m) >> 4 & 1 == expected
+
+    def test_alu_spec_matches_fig9(self):
+        spec = benchmark("alu").permutation
+        reconstruction = alu_function()
+        for m in range(32):
+            assert spec(m) >> 4 & 1 == reconstruction(m) >> 4 & 1
+
+    def test_adder_restricts_to_full_adder(self):
+        spec = benchmark("adder").permutation
+        for m in range(8):  # d = 0 rows only
+            a, b, c = m & 1, m >> 1 & 1, m >> 2 & 1
+            word = spec(m)
+            assert word >> 3 & 1 == (1 if a + b + c >= 2 else 0)
+            assert word >> 2 & 1 == (a + b + c) & 1
+            assert word >> 1 & 1 == a ^ b
+
+    def test_decod24_verbatim_matches_reconstruction(self):
+        verbatim = benchmark("decod24").permutation
+        rebuilt = decoder_2to4()
+        for m in range(4):  # constant inputs at 0
+            assert verbatim(m) == rebuilt(m)
+
+    def test_example_shifts(self):
+        assert benchmark("example2").permutation == wraparound_shift(3, -1)
+        assert benchmark("example6").permutation == wraparound_shift(3, 1)
+        assert benchmark("example7").permutation == wraparound_shift(4, 1)
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            benchmark("nonexistent")
+
+    def test_names_sorted(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+        assert "rd53" in names
+
+
+class TestGenerators:
+    def test_controlled_shifter_semantics(self):
+        spec = controlled_shifter(3)
+        for m in range(32):
+            shift = m >> 3
+            value = m & 7
+            assert spec(m) == (shift << 3) | ((value + shift) % 8)
+
+    def test_graycode_is_n_minus_1_cnots(self):
+        spec = graycode(4)
+        for m in range(16):
+            assert spec(m) == m ^ (m >> 1)
+
+    def test_mod_adder_residues(self):
+        spec = mod_adder(3, 5)
+        for a in range(5):
+            for b in range(5):
+                assert spec((a << 3) | b) == (a << 3) | ((a + b) % 5)
+
+    def test_mod_adder_power_of_two(self):
+        spec = mod_adder(2, 4)
+        for a in range(4):
+            for b in range(4):
+                assert spec((a << 2) | b) == (a << 2) | ((a + b) % 4)
+
+    def test_mod_adder_bad_modulus(self):
+        with pytest.raises(ValueError):
+            mod_adder(2, 5)
+
+    def test_modk_zero_detector(self):
+        spec = modk_zero_detector(4, 5)
+        for m in range(16):
+            expected = m ^ ((1 if m % 5 == 0 else 0) << 4)
+            assert spec(m) == expected
+
+    def test_hwb_rotates_by_weight(self):
+        spec = hidden_weighted_bit(4)
+        assert spec(0) == 0
+        assert spec(0b1111) == 0b1111
+        # 0b0001 has weight 1 -> rotate left 1 -> 0b0010.
+        assert spec(0b0001) == 0b0010
+
+    def test_weight_counter_semantics(self):
+        spec = weight_counter(3)
+        for m in range(8):  # constant carry lines at 0
+            out = spec(m)
+            weight = bin(m).count("1")
+            assert out >> 3 == weight >> 1
+            assert out >> 2 & 1 == weight & 1
+
+    def test_weight_counter_rd53_lines(self):
+        assert weight_counter(5).num_vars == 7  # Table IV line budget
+
+    def test_parity_function(self):
+        spec = parity_function(5)
+        for m in range(32):
+            flip = bin(m & 0b1111).count("1") & 1
+            assert spec(m) == m ^ (flip << 4)
+
+    def test_ones_count_membership(self):
+        spec = ones_count_membership(5, {2, 4})
+        for m in range(32):
+            weight = bin(m & 0b1111).count("1")
+            flip = 1 if weight in (2, 4) else 0
+            assert spec(m) == m ^ (flip << 4)
+
+    def test_two_of_five_predicate(self):
+        spec = two_of_five()
+        for m in range(64):
+            flip = 1 if bin(m & 0b11111).count("1") == 2 else 0
+            assert spec(m) == m ^ (flip << 5)
+
+    def test_majority_balanced_embedding(self):
+        spec = majority_function(3)
+        for m in range(8):
+            expected = 1 if bin(m).count("1") >= 2 else 0
+            assert spec(m) >> 2 & 1 == expected
+
+    def test_majority_even_rejected(self):
+        with pytest.raises(ValueError):
+            majority_function(4)
+
+    def test_hamming_encoder_parities(self):
+        spec = hamming_encoder()
+        for data in range(16):
+            word = spec(data)  # parity lines start at 0
+            assert word & 0b1111 == data
+            p1 = word >> 4 & 1
+            assert p1 == (data & 1) ^ (data >> 1 & 1) ^ (data >> 3 & 1)
+
+    def test_hamming_layout_guarded(self):
+        with pytest.raises(ValueError):
+            hamming_encoder(5)

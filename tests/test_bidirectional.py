@@ -1,0 +1,63 @@
+"""Tests for bidirectional synthesis."""
+
+import pytest
+
+from repro.functions.permutation import Permutation
+from repro.synth.bidirectional import synthesize_bidirectional
+from repro.synth.options import SynthesisOptions
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=15_000)
+
+
+class TestBidirectional:
+    def test_forward_wins_when_it_solves(self, fig1_spec):
+        result = synthesize_bidirectional(fig1_spec, FAST)
+        assert result.solved
+        assert result.direction == "forward"
+        assert result.inverse is None  # not attempted
+        assert result.circuit.implements(fig1_spec)
+
+    def test_always_try_inverse_compares_both(self, fig1_spec):
+        result = synthesize_bidirectional(
+            fig1_spec, FAST, always_try_inverse=True
+        )
+        assert result.solved
+        assert result.inverse is not None
+        assert result.circuit.implements(fig1_spec)
+        # The winner is never longer than the forward solution.
+        assert result.gate_count <= result.forward.gate_count
+
+    def test_inverse_rescues_forward_failure(self, rng):
+        """With a budget too small for the forward direction on some
+        spec, the inverse may still succeed; whenever the result is
+        solved it must implement the *original* function."""
+        for _ in range(5):
+            images = list(range(16))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            result = synthesize_bidirectional(
+                spec,
+                SynthesisOptions(
+                    greedy_k=1, restart_steps=500, max_steps=2_500,
+                    dedupe_states=True, max_gates=40,
+                ),
+            )
+            if result.solved:
+                assert result.circuit.implements(spec)
+                assert result.direction in ("forward", "inverse")
+
+    def test_option_kwargs(self, fig1_spec):
+        result = synthesize_bidirectional(fig1_spec, FAST, max_steps=500)
+        assert result.forward.options.max_steps == 500
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(TypeError):
+            synthesize_bidirectional([0, 1, 3, 2], FAST)
+
+    def test_unsolved_both_directions(self):
+        # Gate cap below the optimum: both directions must fail.
+        spec = Permutation([0, 1, 2, 4, 3, 5, 6, 7])
+        result = synthesize_bidirectional(spec, FAST, max_gates=2)
+        assert not result.solved
+        assert result.direction is None
+        assert result.gate_count is None

@@ -1,0 +1,116 @@
+"""Tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    all_masks,
+    bit,
+    bits_of,
+    gray_code,
+    indices_of,
+    iter_subsets,
+    iter_supersets,
+    mask_from_indices,
+    parity,
+    popcount,
+    reverse_bits,
+)
+
+
+class TestPopcountAndBits:
+    def test_popcount_zero(self):
+        assert popcount(0) == 0
+
+    def test_popcount_full(self):
+        assert popcount(0b1111) == 4
+
+    def test_bit(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_bit_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit(-1)
+
+    def test_bits_of_order(self):
+        assert list(bits_of(0b101001)) == [0, 3, 5]
+
+    def test_bits_of_empty(self):
+        assert list(bits_of(0)) == []
+
+    def test_indices_roundtrip(self):
+        assert mask_from_indices(indices_of(0b1101)) == 0b1101
+
+    def test_mask_from_indices_duplicate(self):
+        with pytest.raises(ValueError):
+            mask_from_indices([1, 1])
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_popcount_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestSubsets:
+    def test_subsets_of_zero(self):
+        assert list(iter_subsets(0)) == [0]
+
+    def test_subsets_count(self):
+        subs = list(iter_subsets(0b1011))
+        assert len(subs) == 8
+        assert len(set(subs)) == 8
+
+    def test_subsets_are_subsets(self):
+        for sub in iter_subsets(0b1100101):
+            assert sub & ~0b1100101 == 0
+
+    def test_supersets(self):
+        supers = list(iter_supersets(0b001, 0b111))
+        assert sorted(supers) == [0b001, 0b011, 0b101, 0b111]
+
+    def test_supersets_bad_universe(self):
+        with pytest.raises(ValueError):
+            list(iter_supersets(0b1000, 0b111))
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_subset_enumeration_complete(self, mask):
+        expected = {s for s in range(mask + 1) if s & ~mask == 0}
+        assert set(iter_subsets(mask)) == expected
+
+
+class TestGrayParityReverse:
+    def test_gray_code_sequence(self):
+        codes = [gray_code(i) for i in range(8)]
+        assert codes == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_gray_neighbours_differ_by_one_bit(self):
+        for i in range(255):
+            assert popcount(gray_code(i) ^ gray_code(i + 1)) == 1
+
+    def test_gray_negative(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+
+    def test_parity(self):
+        assert parity(0) == 0
+        assert parity(0b111) == 1
+        assert parity(0b1001) == 0
+
+    def test_reverse_bits(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+
+    def test_reverse_bits_involution(self):
+        for value in range(64):
+            assert reverse_bits(reverse_bits(value, 6), 6) == value
+
+    def test_reverse_bits_overflow(self):
+        with pytest.raises(ValueError):
+            reverse_bits(16, 4)
+
+    def test_all_masks(self):
+        assert list(all_masks(2)) == [0, 1, 2, 3]
+
+    def test_all_masks_negative(self):
+        with pytest.raises(ValueError):
+            all_masks(-1)

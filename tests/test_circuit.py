@@ -1,0 +1,175 @@
+"""Tests for repro.circuits.circuit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.gates.fredkin import FredkinGate, swap
+from repro.gates.toffoli import ToffoliGate, cnot, not_gate
+
+
+def small_circuits(num_lines=3, max_gates=6):
+    def build(seeds):
+        gates = []
+        for target, controls in seeds:
+            target %= num_lines
+            controls &= ((1 << num_lines) - 1) & ~(1 << target)
+            gates.append(ToffoliGate(controls, target))
+        return Circuit(num_lines, gates)
+
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(st.integers(0, num_lines - 1), st.integers(0, 7)),
+            max_size=max_gates,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        circuit = Circuit.identity(3)
+        assert circuit.gate_count() == 0
+        assert circuit.to_permutation().is_identity()
+        assert str(circuit) == "(identity)"
+
+    def test_gate_must_fit(self):
+        with pytest.raises(ValueError):
+            Circuit(2, [ToffoliGate(0b110, 0)])
+
+    def test_rejects_non_gates(self):
+        with pytest.raises(TypeError):
+            Circuit(2, ["not a gate"])
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+
+class TestParse:
+    def test_paper_example1(self):
+        """Example 1: TOF3(c,a,b) TOF3(c,b,a) TOF3(c,a,b) TOF1(a)."""
+        circuit = Circuit.parse(
+            3, "TOF3(c, a, b) TOF3(c, b, a) TOF3(c, a, b) TOF1(a)"
+        )
+        assert circuit.gate_count() == 4
+        assert circuit.to_permutation() == Permutation(
+            [1, 0, 3, 2, 5, 7, 4, 6]
+        )
+
+    def test_paper_example2(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF2(a, b) TOF3(b, a, c)")
+        assert circuit.to_permutation() == Permutation(
+            [7, 0, 1, 2, 3, 4, 5, 6]
+        )
+
+    def test_paper_example3_fredkin(self):
+        circuit = Circuit.parse(3, "TOF3(c, a, b) TOF3(c, b, a) TOF3(c, a, b)")
+        assert circuit.to_permutation() == Permutation(
+            [0, 1, 2, 3, 4, 6, 5, 7]
+        )
+
+    def test_paper_example8_adder(self):
+        circuit = Circuit.parse(
+            4, "TOF3(b, a, d) TOF2(a, b) TOF3(c, b, d) TOF2(b, c)"
+        )
+        assert circuit.to_permutation() == Permutation(
+            [0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5]
+        )
+
+    def test_parse_swap_and_not(self):
+        circuit = Circuit.parse(2, "SWAP(a, b) NOT(a)")
+        assert circuit.gate_count() == 2
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit.parse(2, "XYZ(a)")
+
+
+class TestSemantics:
+    def test_apply_out_of_range(self):
+        with pytest.raises(ValueError):
+            Circuit.identity(2).apply(4)
+
+    def test_implements(self, fig1_spec):
+        circuit = Circuit.parse(3, "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)")
+        assert circuit.implements(fig1_spec)
+        assert not circuit.implements(Permutation.identity(3))
+
+    def test_implements_wrong_width(self):
+        assert not Circuit.identity(2).implements(Permutation.identity(3))
+
+    @given(small_circuits())
+    def test_inverse(self, circuit):
+        inverse = circuit.inverse()
+        for assignment in range(8):
+            assert inverse.apply(circuit.apply(assignment)) == assignment
+
+    @given(small_circuits(), small_circuits())
+    def test_concatenation(self, first, second):
+        combined = first.then(second)
+        for assignment in range(8):
+            assert combined.apply(assignment) == second.apply(
+                first.apply(assignment)
+            )
+
+    def test_then_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit.identity(2).then(Circuit.identity(3))
+
+    @given(small_circuits())
+    def test_to_pprm_matches_simulation(self, circuit):
+        system = circuit.to_pprm()
+        assert system.to_images() == list(circuit.to_permutation().images)
+
+    def test_to_pprm_with_fredkin(self):
+        circuit = Circuit(3, [FredkinGate(0b100, 0, 1)])
+        assert circuit.to_pprm().to_images() == [0, 1, 2, 3, 4, 6, 5, 7]
+
+
+class TestStructure:
+    def test_append_prepend(self):
+        base = Circuit(2, [cnot(0, 1)])
+        assert base.appended(not_gate(0)).gates[-1] == not_gate(0)
+        assert base.prepended(not_gate(0)).gates[0] == not_gate(0)
+
+    def test_expand_fredkin(self):
+        circuit = Circuit(3, [swap(0, 1), not_gate(2)])
+        expanded = circuit.expand_fredkin()
+        assert expanded.gate_count() == 4
+        assert expanded.to_permutation() == circuit.to_permutation()
+
+    def test_toffoli_gate_count(self):
+        circuit = Circuit(3, [swap(0, 1), not_gate(2)])
+        assert circuit.toffoli_gate_count() == 4
+        assert circuit.gate_count() == 2
+
+    def test_max_gate_size(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF3(a, b, c)")
+        assert circuit.max_gate_size() == 3
+        assert Circuit.identity(2).max_gate_size() == 0
+
+    def test_widened(self):
+        circuit = Circuit.parse(2, "TOF2(a, b)")
+        assert circuit.widened(4).num_lines == 4
+        with pytest.raises(ValueError):
+            circuit.widened(1)
+
+    def test_slicing(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF2(a, b) TOF1(c)")
+        assert circuit[1] == cnot(0, 1)
+        assert circuit[:2].gate_count() == 2
+        assert isinstance(circuit[:2], Circuit)
+
+    def test_quantum_cost_uses_width(self):
+        # TOF5 alone on 5 lines: 29; on 6 lines the discount applies.
+        gate = ToffoliGate(0b1111, 4)
+        assert Circuit(5, [gate]).quantum_cost() == 29
+        assert Circuit(6, [gate]).quantum_cost() == 26
+
+    def test_equality_hash(self):
+        a = Circuit.parse(2, "TOF1(a)")
+        b = Circuit.parse(2, "TOF1(a)")
+        assert a == b and len({a, b}) == 1

@@ -1,0 +1,170 @@
+"""Tests for the rmrls command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSynth:
+    def test_spec_synthesis(self, capsys):
+        code = main(["synth", "--spec", "1,0,7,2,3,4,5,6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gates: 3" in out
+        assert "TOF" in out
+
+    def test_draw_flag(self, capsys):
+        main(["synth", "--spec", "1,0", "--draw"])
+        out = capsys.readouterr().out
+        assert "(+)" in out
+
+    def test_benchmark_synthesis(self, capsys):
+        code = main(
+            ["synth", "--benchmark", "fig1", "--max-steps", "20000"]
+        )
+        assert code == 0
+        assert "gates:" in capsys.readouterr().out
+
+    def test_spec_and_benchmark_conflict(self, capsys):
+        assert main(["synth"]) == 2
+        assert main(["synth", "--spec", "1,0", "--benchmark", "fig1"]) == 2
+
+    def test_budget_exhaustion_reports_failure(self, capsys):
+        code = main(
+            ["synth", "--benchmark", "example4", "--max-steps", "1",
+             "--no-dedupe"]
+        )
+        assert code == 1
+        assert "no circuit" in capsys.readouterr().out
+
+    def test_greedy_flags(self, capsys):
+        code = main(
+            ["synth", "--spec", "1,0,3,2,5,7,4,6",
+             "--greedy-k", "3", "--restart-steps", "500"]
+        )
+        assert code == 0
+
+    def test_bidirectional_flag(self, capsys):
+        code = main(
+            ["synth", "--spec", "1,0,7,2,3,4,5,6", "--bidirectional",
+             "--max-steps", "10000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "direction: forward" in out
+        assert "gates: 3" in out
+
+    def test_bidirectional_needs_permutation(self, capsys):
+        code = main(
+            ["synth", "--benchmark", "shift28", "--bidirectional",
+             "--max-steps", "10"]
+        )
+        assert code == 2
+
+
+class TestInformational:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "rd53" in out and "shift28" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3(d)" in out or "Fig. 1" in out
+        assert "alu" in out
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEmbedCommand:
+    def test_embed_pla(self, capsys, tmp_path):
+        pla = tmp_path / "maj.pla"
+        lines = [".i 3", ".o 1"]
+        for m in range(8):
+            if bin(m).count("1") >= 2:
+                lines.append(f"{m:03b} 1")
+        pla.write_text("\n".join(lines) + "\n.e\n")
+        code = main(["embed", str(pla), "--max-steps", "15000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+        assert "best (" in out
+
+
+class TestCircuitFileCommands:
+    def _write_real(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    REAL = (".version 2.0\n.numvars 3\n.variables a b c\n"
+            ".begin\nt1 a\nt3 a c b\nt3 a b c\n.end\n")
+
+    def test_draw(self, capsys, tmp_path):
+        path = self._write_real(tmp_path, "c.real", self.REAL)
+        assert main(["draw", path]) == 0
+        out = capsys.readouterr().out
+        assert "3 gates" in out
+        assert "(+)" in out
+
+    def test_verify_equivalent(self, capsys, tmp_path):
+        a = self._write_real(tmp_path, "a.real", self.REAL)
+        # Same function, different gate order for the commuting prefix.
+        b = self._write_real(
+            tmp_path, "b.real",
+            ".numvars 3\n.begin\nt1 a\nt3 a c b\nt3 a b c\n.end\n",
+        )
+        assert main(["verify", a, b]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_verify_different(self, capsys, tmp_path):
+        a = self._write_real(tmp_path, "a.real", self.REAL)
+        c = self._write_real(
+            tmp_path, "c.real", ".numvars 3\n.begin\nt1 a\n.end\n"
+        )
+        assert main(["verify", a, c]) == 1
+        assert "DIFFERENT" in capsys.readouterr().out
+
+    def test_decompose(self, capsys, tmp_path):
+        wide = self._write_real(
+            tmp_path, "w.real",
+            ".numvars 5\n.begin\nt4 a b c d\n.end\n",
+        )
+        assert main(["decompose", wide]) == 0
+        out = capsys.readouterr().out
+        assert ".numvars 5" in out
+        assert "t4" not in out  # all gates mapped to <= t3
+
+    def test_decompose_impossible(self, capsys, tmp_path):
+        full = self._write_real(
+            tmp_path, "f.real",
+            ".numvars 4\n.begin\nt4 a b c d\n.end\n",
+        )
+        assert main(["decompose", full]) == 1
+
+
+class TestExperimentCommands:
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--sample", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "optimal_nct" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--sample", "1"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_table4_named(self, capsys):
+        assert main(["table4", "--names", "3_17"]) == 0
+        assert "3_17" in capsys.readouterr().out
+
+    def test_scalability_small(self, capsys):
+        code = main(
+            ["scalability", "--max-gates", "5", "--samples", "2",
+             "--variables", "6"]
+        )
+        assert code == 0
+        assert "maximum gate count 5" in capsys.readouterr().out

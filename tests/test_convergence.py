@@ -1,0 +1,84 @@
+"""Convergence/completeness checks (Sec. IV-F).
+
+The basic algorithm is claimed to always find a solution.  These tests
+verify the claim exhaustively on two variables, on all wire
+permutations of three lines (the hardest structural cases for the
+term-decrease rule), and statistically on three variables, comparing
+against provably optimal sizes where available.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines.optimal import optimal_distances
+from repro.functions.permutation import Permutation
+from repro.gates.library import NCT
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=20_000)
+
+
+class TestTwoVariablesExhaustive:
+    def test_all_24_functions_solve(self):
+        optimal = optimal_distances(2, NCT)
+        for images in itertools.permutations(range(4)):
+            spec = Permutation(images)
+            result = synthesize(spec, FAST)
+            assert result.solved, images
+            assert result.verify(spec)
+            assert result.gate_count >= optimal[images]
+
+    def test_two_variable_quality_near_optimal(self):
+        optimal = optimal_distances(2, NCT)
+        excess = 0
+        for images in itertools.permutations(range(4)):
+            result = synthesize(Permutation(images), FAST)
+            excess += result.gate_count - optimal[images]
+        # Across all 24 functions the search gives away at most a
+        # handful of gates in total.
+        assert excess <= 8
+
+
+class TestWirePermutations:
+    @pytest.mark.parametrize(
+        "wire_map", list(itertools.permutations(range(3)))
+    )
+    def test_all_wire_relabelings_solve(self, wire_map):
+        spec = Permutation.identity(3).output_permuted(list(wire_map))
+        result = synthesize(spec, FAST)
+        assert result.solved, wire_map
+        assert result.verify(spec)
+        # A wire swap is 3 CNOTs; a 3-cycle of wires is 6; identity 0.
+        assert result.gate_count <= 6
+
+
+class TestInverseSymmetry:
+    def test_function_and_inverse_both_solve(self, rng):
+        for _ in range(10):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            forward = synthesize(spec, FAST)
+            backward = synthesize(spec.inverse(), FAST)
+            assert forward.solved and backward.solved
+            # The inverse of the forward circuit realizes the inverse
+            # function; both searches must verify.
+            assert forward.circuit.inverse().implements(spec.inverse())
+            assert backward.verify(spec.inverse())
+
+
+class TestConjugationInvariance:
+    def test_relabeled_function_solves(self, rng):
+        """Renaming wires cannot make a function unsolvable."""
+        images = list(range(8))
+        rng.shuffle(images)
+        spec = Permutation(images)
+        base = synthesize(spec, FAST)
+        assert base.solved
+        for wire_map in ([1, 0, 2], [2, 1, 0], [1, 2, 0]):
+            relabeled = spec.output_permuted(wire_map)
+            result = synthesize(relabeled, FAST)
+            assert result.solved, wire_map
+            assert result.verify(relabeled)

@@ -1,0 +1,71 @@
+"""Property tests for the quantum-cost model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.random_circuits import random_circuit
+from repro.gates.library import GT
+
+seeds = st.integers(0, 10_000)
+
+
+def _circuit(seed: int, num_lines: int = 5) -> Circuit:
+    rng = random.Random(seed)
+    return random_circuit(num_lines, rng.randint(0, 10), rng, GT)
+
+
+class TestCostProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_cost_at_least_gate_count(self, seed):
+        circuit = _circuit(seed)
+        assert circuit.quantum_cost() >= circuit.gate_count()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_widening_never_raises_cost(self, seed):
+        """Extra idle lines can only unlock the cheaper realizations."""
+        circuit = _circuit(seed)
+        widened = circuit.widened(circuit.num_lines + 1)
+        assert widened.quantum_cost() <= circuit.quantum_cost()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_fredkin_expansion_preserves_cost(self, seed):
+        """Fredkin gates are charged as their Toffoli expansion, so
+        expanding them changes nothing."""
+        rng = random.Random(seed)
+        from repro.gates.fredkin import FredkinGate
+
+        gates = []
+        for _ in range(rng.randint(1, 4)):
+            targets = rng.sample(range(5), 2)
+            others = [i for i in range(5) if i not in targets]
+            controls = 0
+            for line in others:
+                if rng.random() < 0.5:
+                    controls |= 1 << line
+            gates.append(FredkinGate(controls, *targets))
+        circuit = Circuit(5, gates)
+        assert (
+            circuit.expand_fredkin().quantum_cost()
+            == circuit.quantum_cost()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_concatenation_cost_additive(self, seed):
+        first = _circuit(seed)
+        second = _circuit(seed + 1)
+        assert first.then(second).quantum_cost() == (
+            first.quantum_cost() + second.quantum_cost()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_inverse_cost_equal(self, seed):
+        circuit = _circuit(seed)
+        assert circuit.inverse().quantum_cost() == circuit.quantum_cost()

@@ -1,0 +1,107 @@
+"""Tests for Barenco-style Toffoli decomposition."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.decompose import decompose_circuit, decompose_gate
+from repro.gates.fredkin import FredkinGate
+from repro.gates.toffoli import ToffoliGate
+from repro.utils.bitops import mask_from_indices
+
+
+def _equivalent(gate, expansion, num_lines):
+    for assignment in range(1 << num_lines):
+        value = assignment
+        for small in expansion:
+            value = small.apply(value)
+        if value != gate.apply(assignment):
+            return False
+    return True
+
+
+class TestSmallGatesPassThrough:
+    def test_not(self):
+        gate = ToffoliGate(0, 0)
+        assert decompose_gate(gate, 3) == [gate]
+
+    def test_cnot_and_tof3(self):
+        tof3 = ToffoliGate(0b011, 2)
+        assert decompose_gate(tof3, 3) == [tof3]
+
+
+class TestChainNetwork:
+    @pytest.mark.parametrize("controls", [3, 4, 5])
+    def test_with_full_work_lines(self, controls):
+        """Lemma 7.2: 4(m-2) gates with m-2 borrowed lines."""
+        num_lines = 2 * controls - 1
+        gate = ToffoliGate(mask_from_indices(range(controls)), controls)
+        expansion = decompose_gate(gate, num_lines)
+        assert len(expansion) == 4 * (controls - 2)
+        assert all(g.size <= 3 for g in expansion)
+        assert _equivalent(gate, expansion, num_lines)
+
+    def test_work_lines_restored_for_any_value(self):
+        """Borrowed lines are dirty: correctness must hold whatever
+        they carry — checked by full-space simulation."""
+        gate = ToffoliGate(0b0111, 3)
+        expansion = decompose_gate(gate, 5)
+        assert _equivalent(gate, expansion, 5)
+
+
+class TestSplitNetwork:
+    def test_single_spare_line(self):
+        """Lemma 7.3: one borrowed line suffices."""
+        gate = ToffoliGate(0b01111, 4)  # 4 controls on 6 lines
+        expansion = decompose_gate(gate, 6)
+        assert all(g.size <= 3 for g in expansion)
+        assert _equivalent(gate, expansion, 6)
+
+    def test_larger_gate_one_spare(self):
+        gate = ToffoliGate(0b011111, 5)  # 5 controls on 7 lines
+        expansion = decompose_gate(gate, 7)
+        assert all(g.size <= 3 for g in expansion)
+        assert _equivalent(gate, expansion, 7)
+
+    def test_no_spare_line_rejected(self):
+        gate = ToffoliGate(0b0111, 3)
+        with pytest.raises(ValueError):
+            decompose_gate(gate, 4)
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_gate(ToffoliGate(0b0110, 0), 2)
+
+
+class TestCircuitDecomposition:
+    def test_whole_circuit(self):
+        circuit = Circuit.parse(
+            5, "TOF4(a, b, c, d) TOF2(a, b) TOF5(a, b, c, d, e)"
+        )
+        # TOF5 on 5 lines has no spare line.
+        with pytest.raises(ValueError):
+            decompose_circuit(circuit)
+
+    def test_whole_circuit_with_room(self):
+        circuit = Circuit(
+            6,
+            [
+                ToffoliGate(0b001111, 4),
+                ToffoliGate(0b000011, 2),
+            ],
+        )
+        nct = decompose_circuit(circuit)
+        assert nct.max_gate_size() <= 3
+        assert nct.to_permutation() == circuit.to_permutation()
+
+    def test_fredkin_expanded_first(self):
+        circuit = Circuit(4, [FredkinGate(0b1100, 0, 1)])
+        # Controlled-SWAP with 2 controls -> TOF4s -> needs a spare
+        # line; on 4 lines every line is touched, so this must fail.
+        with pytest.raises(ValueError):
+            decompose_circuit(circuit)
+        wider = Circuit(5, [FredkinGate(0b1100, 0, 1)])
+        nct = decompose_circuit(wider)
+        assert nct.max_gate_size() <= 3
+        assert nct.to_permutation().images[:16] == tuple(
+            FredkinGate(0b1100, 0, 1).apply(m) for m in range(16)
+        )

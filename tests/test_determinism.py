@@ -1,0 +1,68 @@
+"""Determinism: every component is free of hidden randomness.
+
+Reproducibility of the experiment tables depends on synthesis being a
+pure function of (specification, options); these tests run components
+twice and require bit-identical outcomes.
+"""
+
+import random
+
+from repro.baselines.spectral_synthesis import spectral_synthesize
+from repro.baselines.transformation import transformation_synthesize
+from repro.functions.permutation import Permutation
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+
+def _spec(seed: int, num_vars: int = 3) -> Permutation:
+    rng = random.Random(seed)
+    images = list(range(1 << num_vars))
+    rng.shuffle(images)
+    return Permutation(images)
+
+
+class TestSynthesisDeterminism:
+    def test_identical_runs_identical_results(self):
+        options = SynthesisOptions(dedupe_states=True, max_steps=15_000)
+        for seed in (1, 2, 3):
+            spec = _spec(seed)
+            first = synthesize(spec, options)
+            second = synthesize(spec, options)
+            assert first.circuit == second.circuit
+            assert first.stats.steps == second.stats.steps
+            assert first.stats.nodes_created == second.stats.nodes_created
+
+    def test_greedy_runs_deterministic(self):
+        options = SynthesisOptions(
+            greedy_k=1, restart_steps=100, max_steps=5_000,
+            dedupe_states=True, max_gates=40,
+        )
+        spec = _spec(9, num_vars=4)
+        first = synthesize(spec, options)
+        second = synthesize(spec, options)
+        assert first.circuit == second.circuit
+        assert first.stats.restarts == second.stats.restarts
+
+    def test_trace_deterministic(self):
+        options = SynthesisOptions(
+            dedupe_states=True, max_steps=5_000, record_trace=True
+        )
+        spec = _spec(4)
+        first = synthesize(spec, options)
+        second = synthesize(spec, options)
+        assert first.trace.events == second.trace.events
+
+
+class TestBaselineDeterminism:
+    def test_transformation(self):
+        spec = _spec(11)
+        assert transformation_synthesize(spec) == transformation_synthesize(
+            spec
+        )
+
+    def test_spectral(self):
+        spec = _spec(12)
+        first = spectral_synthesize(spec)
+        second = spectral_synthesize(spec)
+        assert first.circuit == second.circuit
+        assert first.steps == second.steps

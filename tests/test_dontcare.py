@@ -1,0 +1,117 @@
+"""Tests for don't-care-aware embedding search."""
+
+import pytest
+
+from repro.functions.dontcare import (
+    DEFAULT_STRATEGIES,
+    EmbeddingStrategy,
+    candidate_embeddings,
+    synthesize_with_dont_cares,
+)
+from repro.functions.embedding import embed
+from repro.functions.truth_table import TruthTable
+from repro.synth.options import SynthesisOptions
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=15_000)
+
+
+def full_adder() -> TruthTable:
+    def row(m):
+        a, b, c = m & 1, m >> 1 & 1, m >> 2 & 1
+        carry = 1 if a + b + c >= 2 else 0
+        return (carry << 2) | (((a + b + c) & 1) << 1) | (a ^ b)
+
+    return TruthTable.from_function(3, 3, row)
+
+
+class TestSpareOrders:
+    @pytest.mark.parametrize("order", ["ascending", "descending", "gray"])
+    def test_all_orders_valid(self, order):
+        embedding = embed(full_adder(), spare_order=order)
+        assert embedding.restricts_to_table()
+
+    def test_orders_differ(self):
+        asc = embed(full_adder(), spare_order="ascending")
+        desc = embed(full_adder(), spare_order="descending")
+        assert asc.permutation != desc.permutation
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            embed(full_adder(), spare_order="random")
+
+
+class TestCandidateEmbeddings:
+    def test_all_candidates_restrict(self):
+        for strategy, embedding in candidate_embeddings(full_adder()):
+            assert embedding.restricts_to_table(), strategy.name
+
+    def test_candidates_deduplicated(self):
+        seen = set()
+        for _strategy, embedding in candidate_embeddings(full_adder()):
+            assert embedding.permutation.images not in seen
+            seen.add(embedding.permutation.images)
+
+    def test_xor_block_matches_fig2b_structure(self):
+        by_name = {
+            strategy.name: embedding
+            for strategy, embedding in candidate_embeddings(full_adder())
+        }
+        embedding = by_name["input-copy-low/xor-block"]
+        images = embedding.permutation.images
+        # Fig. 2(b)'s completion: block d=1 is the d=0 block XOR 0b1000.
+        for m in range(8):
+            assert images[8 + m] == images[m] ^ 0b1000
+
+    def test_reversible_table_collapses_to_one_candidate(self):
+        # A square reversible table has no garbage bits: every strategy
+        # degrades to the same direct embedding, and deduplication
+        # leaves a single candidate credited to the first strategy.
+        table = TruthTable(2, 2, [0, 1, 2, 3])
+        candidates = list(candidate_embeddings(table))
+        assert len(candidates) == 1
+        strategy, embedding = candidates[0]
+        assert embedding.num_lines == 2
+        assert embedding.num_garbage_outputs == 0
+        assert embedding.permutation.is_identity()
+
+
+class TestPortfolioSynthesis:
+    def test_adder_reaches_paper_quality(self):
+        """The portfolio recovers the paper's 4-gate Fig. 8 circuit
+        from the raw irreversible table."""
+        result = synthesize_with_dont_cares(full_adder(), FAST)
+        assert result.solved
+        assert result.circuit.gate_count() == 4
+        assert result.strategy.name == "input-copy-low/xor-block"
+        assert result.embedding.restricts_to_table()
+
+    def test_attempts_recorded(self):
+        result = synthesize_with_dont_cares(full_adder(), FAST)
+        assert len(result.attempts) >= 4
+        names = [name for name, _gates in result.attempts]
+        assert "first-fit" in names
+
+    def test_majority_portfolio(self):
+        table = TruthTable.from_function(
+            3, 1, lambda m: 1 if bin(m).count("1") >= 2 else 0
+        )
+        result = synthesize_with_dont_cares(table, FAST)
+        assert result.solved
+        # majority3 in Table IV: 4 gates.
+        assert result.circuit.gate_count() <= 6
+
+    def test_custom_strategy_list(self):
+        only_first_fit = tuple(
+            s for s in DEFAULT_STRATEGIES if s.name == "first-fit"
+        )
+        result = synthesize_with_dont_cares(
+            full_adder(), FAST, strategies=only_first_fit
+        )
+        assert result.solved
+        assert [name for name, _ in result.attempts] == ["first-fit"]
+
+    def test_strategy_dataclass(self):
+        strategy = EmbeddingStrategy("noop", lambda table: None)
+        embedding = strategy.apply(full_adder())
+        assert embedding is not None
+        assert embedding.restricts_to_table()

@@ -1,0 +1,58 @@
+"""Tests for ASCII circuit drawing."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.drawing import draw_circuit
+from repro.gates.fredkin import FredkinGate
+
+import pytest
+
+
+class TestDrawing:
+    def test_fig3d_layout(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)")
+        drawing = draw_circuit(circuit)
+        lines = drawing.splitlines()
+        # Highest wire on top, like the paper's figures.
+        assert lines[0].startswith("c")
+        assert lines[-1].startswith("a")
+        assert "(+)" in drawing
+        assert "*" in drawing
+
+    def test_target_and_controls_on_right_wires(self):
+        circuit = Circuit.parse(3, "TOF3(a, c, b)")
+        rows = {
+            line[0]: line for line in draw_circuit(circuit).splitlines()
+            if line and line[0] in "abc"
+        }
+        assert "(+)" in rows["b"]
+        assert "*" in rows["a"] and "*" in rows["c"]
+
+    def test_vertical_connector_spans_gap(self):
+        # Controls on a and c, target b: the connector passes through b's
+        # neighbours only; check a gate spanning non-adjacent wires.
+        circuit = Circuit.parse(3, "TOF2(a, c)")
+        drawing = draw_circuit(circuit)
+        assert "|" in drawing
+
+    def test_identity_circuit(self):
+        drawing = draw_circuit(Circuit.identity(2))
+        assert drawing.splitlines()[0].startswith("b")
+
+    def test_fredkin_marks(self):
+        circuit = Circuit(3, [FredkinGate(0b100, 0, 1)])
+        drawing = draw_circuit(circuit)
+        assert drawing.count("x") == 2
+
+    def test_custom_labels(self):
+        circuit = Circuit.parse(2, "TOF2(a, b)")
+        drawing = draw_circuit(circuit, labels=["in0", "in1"])
+        assert "in0" in drawing and "in1" in drawing
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError):
+            draw_circuit(Circuit.identity(2), labels=["only-one"])
+
+    def test_column_per_gate(self):
+        circuit = Circuit.parse(2, "TOF1(a) TOF1(a) TOF1(a)")
+        top = draw_circuit(circuit).splitlines()[-1]
+        assert top.count("(+)") == 3

@@ -1,0 +1,97 @@
+"""Tests for repro.functions.embedding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.embedding import embed, required_garbage_outputs
+from repro.functions.truth_table import TruthTable
+
+
+def full_adder() -> TruthTable:
+    def row(m: int) -> int:
+        a, b, c = m & 1, m >> 1 & 1, m >> 2 & 1
+        carry = 1 if a + b + c >= 2 else 0
+        total = (a + b + c) & 1
+        propagate = a ^ b
+        return (carry << 2) | (total << 1) | propagate
+
+    return TruthTable.from_function(3, 3, row)
+
+
+class TestGarbageRequirement:
+    def test_full_adder_needs_one_garbage(self):
+        # Fig. 2(a): two output rows repeat twice -> ceil(log2 2) = 1.
+        assert required_garbage_outputs(full_adder()) == 1
+
+    def test_injective_function_needs_none(self):
+        table = TruthTable(2, 2, [0, 1, 2, 3])
+        assert required_garbage_outputs(table) == 0
+
+    def test_constant_function(self):
+        table = TruthTable.single_output([1, 1, 1, 1])
+        assert required_garbage_outputs(table) == 2
+
+
+class TestEmbedding:
+    def test_full_adder_matches_paper_shape(self):
+        embedding = embed(full_adder())
+        # Fig. 2(b): 4 lines, 1 garbage output, 1 constant input.
+        assert embedding.num_lines == 4
+        assert embedding.num_garbage_outputs == 1
+        assert embedding.num_constant_inputs == 1
+
+    def test_embedding_restricts_to_table(self):
+        assert embed(full_adder()).restricts_to_table()
+
+    def test_explicit_garbage_fig2b(self):
+        # Fig. 2(b) chooses the garbage output equal to input a.
+        embedding = embed(full_adder(), garbage=lambda m: m & 1)
+        assert embedding.restricts_to_table()
+
+    def test_conflicting_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            embed(full_adder(), garbage=lambda m: 0)
+
+    def test_garbage_word_out_of_range(self):
+        with pytest.raises(ValueError):
+            embed(full_adder(), garbage=lambda m: 2)
+
+    def test_extra_garbage(self):
+        embedding = embed(full_adder(), extra_garbage_outputs=1)
+        assert embedding.num_garbage_outputs == 2
+        assert embedding.num_lines == 5
+        assert embedding.restricts_to_table()
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            embed(full_adder(), extra_garbage_outputs=-1)
+
+    def test_more_inputs_than_outputs(self):
+        # 3 inputs, 1 output: squaring forces 2 extra garbage outputs.
+        table = TruthTable.from_function(3, 1, lambda m: m.bit_count() & 1)
+        embedding = embed(table)
+        assert embedding.num_lines == 3
+        assert embedding.num_garbage_outputs == 2
+        assert embedding.restricts_to_table()
+
+    def test_embedded_input_range_checked(self):
+        embedding = embed(full_adder())
+        with pytest.raises(ValueError):
+            embedding.embedded_input(8)
+
+    @given(st.lists(st.integers(0, 3), min_size=8, max_size=8))
+    def test_random_tables_embed_correctly(self, rows):
+        table = TruthTable(3, 2, rows)
+        embedding = embed(table)
+        assert embedding.restricts_to_table()
+        # The result is validated as a bijection by Permutation itself.
+        assert embedding.permutation.num_vars == embedding.num_lines
+
+    def test_real_output_extraction(self):
+        embedding = embed(full_adder())
+        word = embedding.permutation(0b0101)
+        bits = [embedding.real_output(word, j) for j in range(3)]
+        assert bits == [
+            full_adder()(0b101) >> j & 1 for j in range(3)
+        ]

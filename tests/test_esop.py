@@ -1,0 +1,124 @@
+"""Tests for the ESOP substrate: cubes, covers, conversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.esop.convert import cube_to_terms, esop_to_pprm, pprm_to_esop
+from repro.esop.cover import EsopCover
+from repro.esop.cube import Cube
+from repro.pprm.expansion import Expansion
+from repro.pprm.transform import truth_vector_to_expansion
+
+truth_vectors = st.lists(st.integers(0, 1), min_size=8, max_size=8)
+
+
+class TestCube:
+    def test_tautology(self):
+        cube = Cube.tautology()
+        assert cube.literal_count() == 0
+        assert all(cube.evaluate(m) for m in range(8))
+        assert str(cube) == "1"
+
+    def test_minterm(self):
+        cube = Cube.minterm(0b101, 3)
+        assert cube.evaluate(0b101) == 1
+        assert sum(cube.evaluate(m) for m in range(8)) == 1
+
+    def test_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.minterm(8, 3)
+
+    def test_from_string(self):
+        cube = Cube.from_string("1-0")
+        # x2 positive, x1 absent, x0 negative.
+        assert cube.variable_status(2) == "1"
+        assert cube.variable_status(1) == "-"
+        assert cube.variable_status(0) == "0"
+        assert str(cube) == "a'c"
+
+    def test_from_string_invalid(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_polarity_outside_care_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(0b01, 0b11)
+
+    def test_evaluation_with_negative_literal(self):
+        cube = Cube.from_string("0-")  # x1 negative, x0 free
+        assert cube.evaluate(0b00) == 1
+        assert cube.evaluate(0b01) == 1
+        assert cube.evaluate(0b10) == 0
+
+    def test_distance(self):
+        a = Cube.from_string("1-0")
+        assert a.distance(a) == 0
+        assert a.distance(Cube.from_string("100")) == 1
+        assert a.distance(Cube.from_string("011")) == 3
+
+    def test_differing_positions(self):
+        a = Cube.from_string("1-0")
+        b = Cube.from_string("110")
+        assert a.differing_positions(b) == [1]
+
+    def test_with_variable(self):
+        cube = Cube.from_string("1-0").with_variable(0, "-")
+        assert cube.variable_status(0) == "-"
+        with pytest.raises(ValueError):
+            cube.with_variable(0, "x")
+
+
+class TestCover:
+    def test_from_truth_vector_counts_minterms(self):
+        cover = EsopCover.from_truth_vector([0, 1, 1, 0])
+        assert cover.cube_count() == 2
+        assert cover.truth_vector() == [0, 1, 1, 0]
+
+    def test_xor_semantics(self):
+        # Two overlapping cubes XOR, not OR: b + ab vanishes on 11.
+        cover = EsopCover.from_strings(2, ["1-", "11"])
+        assert cover.evaluate(0b11) == 0
+        assert cover.evaluate(0b10) == 1
+        assert cover.evaluate(0b01) == 0
+
+    def test_cancelled(self):
+        cover = EsopCover.from_strings(2, ["11", "11", "01"])
+        assert cover.cancelled().cube_count() == 1
+
+    def test_cube_out_of_range(self):
+        with pytest.raises(ValueError):
+            EsopCover(1, [Cube.minterm(2, 2)])
+
+    def test_equivalence(self):
+        left = EsopCover.from_truth_vector([0, 1, 1, 0])
+        right = EsopCover.from_strings(2, ["-1", "1-"])
+        assert left.equivalent_to(right)
+
+    def test_literal_total(self):
+        cover = EsopCover.from_strings(3, ["1-0", "111"])
+        assert cover.literal_total() == 5
+
+
+class TestConversion:
+    def test_positive_cube_single_term(self):
+        assert cube_to_terms(Cube(0b101, 0b101)) == [0b101]
+
+    def test_negative_literal_expands(self):
+        # a'b = ab + b.
+        cube = Cube.from_string("10")
+        assert sorted(cube_to_terms(cube)) == [0b10, 0b11]
+
+    def test_double_negation_four_terms(self):
+        cube = Cube.from_string("00")
+        assert sorted(cube_to_terms(cube)) == [0, 0b01, 0b10, 0b11]
+
+    @given(truth_vectors)
+    def test_esop_to_pprm_is_canonical(self, values):
+        cover = EsopCover.from_truth_vector(values)
+        assert esop_to_pprm(cover) == truth_vector_to_expansion(values)
+
+    def test_pprm_to_esop_round_trip(self):
+        expansion = Expansion([0b101, 0b010, 0])
+        cover = pprm_to_esop(expansion, 3)
+        assert esop_to_pprm(cover) == expansion

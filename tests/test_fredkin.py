@@ -1,0 +1,90 @@
+"""Tests for repro.gates.fredkin."""
+
+import pytest
+
+from repro.gates.fredkin import FredkinGate, swap
+
+
+class TestConstruction:
+    def test_swap(self):
+        gate = swap(0, 2)
+        assert gate.is_swap()
+        assert gate.size == 2
+        assert str(gate) == "SWAP(a, c)"
+
+    def test_controlled(self):
+        gate = FredkinGate(0b100, 0, 1)
+        assert not gate.is_swap()
+        assert gate.size == 3
+        assert str(gate) == "FRE3(c, a, b)"
+
+    def test_targets_sorted(self):
+        assert FredkinGate(0, 3, 1).targets == (1, 3)
+
+    def test_same_targets_rejected(self):
+        with pytest.raises(ValueError):
+            FredkinGate(0, 1, 1)
+
+    def test_control_overlapping_target_rejected(self):
+        with pytest.raises(ValueError):
+            FredkinGate(0b001, 0, 1)
+
+    def test_from_names(self):
+        gate = FredkinGate.from_names("c", "a", "b")
+        assert gate.controls == 0b100
+        assert gate.targets == (0, 1)
+
+    def test_from_names_too_few(self):
+        with pytest.raises(ValueError):
+            FredkinGate.from_names("a")
+
+
+class TestSemantics:
+    def test_swap_exchanges(self):
+        gate = swap(0, 1)
+        assert gate.apply(0b01) == 0b10
+        assert gate.apply(0b10) == 0b01
+        assert gate.apply(0b11) == 0b11
+        assert gate.apply(0b00) == 0b00
+
+    def test_controlled_swap_gated(self):
+        gate = FredkinGate(0b100, 0, 1)
+        assert gate.apply(0b001) == 0b001  # control off
+        assert gate.apply(0b101) == 0b110  # control on
+
+    def test_involution(self):
+        gate = FredkinGate(0b1000, 0, 2)
+        for assignment in range(16):
+            assert gate.apply(gate.apply(assignment)) == assignment
+        assert gate.inverse() is gate
+
+    def test_fredkin_spec_matches_paper_example3(self):
+        """Example 3: the Fredkin gate is {0,1,2,3,4,6,5,7}."""
+        gate = FredkinGate(0b100, 0, 1)
+        images = [gate.apply(m) for m in range(8)]
+        assert images == [0, 1, 2, 3, 4, 6, 5, 7]
+
+
+class TestToffoliExpansion:
+    def test_three_gate_expansion(self):
+        gate = FredkinGate(0b100, 0, 1)
+        cascade = gate.to_toffoli()
+        assert len(cascade) == 3
+
+    def test_expansion_equivalent(self):
+        for controls, a, b in [(0, 0, 1), (0b100, 0, 1), (0b1100, 0, 1)]:
+            gate = FredkinGate(controls, a, b)
+            cascade = gate.to_toffoli()
+            for assignment in range(16):
+                value = assignment
+                for toffoli in cascade:
+                    value = toffoli.apply(value)
+                assert value == gate.apply(assignment)
+
+    def test_min_lines(self):
+        assert swap(0, 1).min_lines() == 2
+        assert FredkinGate(0b1000, 0, 1).min_lines() == 4
+
+    def test_hash_equality(self):
+        assert len({swap(0, 1), swap(1, 0)}) == 1
+        assert swap(0, 1) != swap(0, 2)

@@ -1,0 +1,189 @@
+"""Tests for RevLib .real and PLA interchange formats."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.esop.convert import esop_to_pprm
+from repro.functions.truth_table import TruthTable
+from repro.gates.fredkin import FredkinGate
+from repro.io.pla import PlaError, dump_pla, load_pla_esop, load_pla_table
+from repro.io.real_format import RealFormatError, dump_real, load_real
+from repro.pprm.transform import truth_vector_to_expansion
+
+
+class TestRealRoundTrip:
+    def test_toffoli_circuit(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)")
+        text = dump_real(circuit, header_comments=["fig 3(d)"])
+        assert ".numvars 3" in text
+        assert "t1 a" in text
+        assert "t3 a c b" in text
+        parsed = load_real(text)
+        assert parsed == circuit
+
+    def test_fredkin_circuit(self):
+        circuit = Circuit(3, [FredkinGate(0b100, 0, 1)])
+        parsed = load_real(dump_real(circuit))
+        assert parsed == circuit
+
+    def test_custom_names(self):
+        circuit = Circuit.parse(2, "TOF2(a, b)")
+        text = dump_real(circuit, names=["x", "y"])
+        assert "t2 x y" in text
+        assert load_real(text).to_permutation() == circuit.to_permutation()
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError):
+            dump_real(Circuit.identity(2), names=["only"])
+
+    def test_parse_revlib_sample(self):
+        text = """
+        # a published-style file
+        .version 2.0
+        .numvars 3
+        .variables a b c
+        .inputs a b c
+        .outputs a b c
+        .constants ---
+        .garbage ---
+        .begin
+        t2 a b
+        f3 a b c
+        .end
+        """
+        circuit = load_real(text)
+        assert circuit.gate_count() == 2
+        assert isinstance(circuit.gates[1], FredkinGate)
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            (".begin\nt1 a\n.end", ".begin before .numvars"),
+            (".numvars 2\nt1 a\n.end", "outside"),
+            (".numvars 2\n.begin\nv1 a\n.end", "unsupported gate kind"),
+            (".numvars 2\n.begin\nt2 a\n.end", "expects 2 operands"),
+            (".numvars 2\n.begin\nt1 z\n.end", "unknown variable"),
+            (".numvars 2\n.begin\nt1 a\n", "missing .end"),
+            (".numvars 0\n.begin\n.end", "positive"),
+            (".numvars 2\n.variables a\n.begin\n.end", "lists 1 names"),
+        ],
+    )
+    def test_malformed_rejected(self, text, fragment):
+        with pytest.raises(RealFormatError, match=fragment.replace("(", r"\(")):
+            load_real(text)
+
+    def test_missing_numvars(self):
+        with pytest.raises(RealFormatError):
+            load_real("# nothing\n")
+
+
+class TestNegativeControls:
+    def test_negative_control_semantics(self):
+        # t2 -a b: flip b iff a == 0.
+        circuit = load_real(".numvars 2\n.begin\nt2 -a b\n.end\n")
+        assert circuit.gate_count() == 3  # NOT a, CNOT, NOT a
+        perm = circuit.to_permutation()
+        assert perm(0b00) == 0b10
+        assert perm(0b01) == 0b01
+        assert perm(0b10) == 0b00
+        assert perm(0b11) == 0b11
+
+    def test_mixed_controls(self):
+        # t3 a -b c: flip c iff a == 1 and b == 0.
+        circuit = load_real(".numvars 3\n.begin\nt3 a -b c\n.end\n")
+        perm = circuit.to_permutation()
+        for m in range(8):
+            expect_flip = (m & 1) and not (m & 2)
+            assert perm(m) == (m ^ 4 if expect_flip else m), m
+
+    def test_negative_fredkin_control(self):
+        circuit = load_real(".numvars 3\n.begin\nf3 -c a b\n.end\n")
+        perm = circuit.to_permutation()
+        # swap a,b iff c == 0.
+        assert perm(0b001) == 0b010
+        assert perm(0b101) == 0b101
+
+    def test_negated_target_rejected(self):
+        with pytest.raises(RealFormatError, match="target"):
+            load_real(".numvars 2\n.begin\nt2 a -b\n.end\n")
+        with pytest.raises(RealFormatError, match="target"):
+            load_real(".numvars 3\n.begin\nf3 c -a b\n.end\n")
+
+    def test_sandwich_restores_control_line(self):
+        circuit = load_real(".numvars 2\n.begin\nt2 -a b\nt2 -a b\n.end\n")
+        # Applying the gate twice is the identity; the NOT sandwiches
+        # must restore line a in between.
+        assert circuit.to_permutation().is_identity()
+
+
+class TestPla:
+    RD_STYLE = """
+    .i 3
+    .o 2
+    .type fr
+    110 10
+    101 10
+    011 10
+    111 01
+    """
+
+    def test_load_table(self):
+        table = load_pla_table(self.RD_STYLE)
+        assert table.num_inputs == 3
+        assert table(0b110) == 0b10
+        assert table(0b111) == 0b01
+        assert table(0b000) == 0
+
+    def test_dump_round_trip(self):
+        table = load_pla_table(self.RD_STYLE)
+        again = load_pla_table(dump_pla(table))
+        assert again == table
+
+    def test_dont_care_inputs_expand(self):
+        text = ".i 2\n.o 1\n1- 1\n"
+        table = load_pla_table(text)
+        assert table(0b10) == 1 and table(0b11) == 1
+        assert table(0b00) == 0
+
+    def test_esop_cover_and_pprm(self):
+        text = ".i 2\n.o 1\n.type esop\n1- 1\n11 1\n"
+        cover = load_pla_esop(text)
+        assert cover.cube_count() == 2
+        # b XOR ab tabulates as [0, 0, 1, 0].
+        assert esop_to_pprm(cover) == truth_vector_to_expansion([0, 0, 1, 0])
+
+    def test_esop_output_selection(self):
+        text = ".i 2\n.o 2\n11 10\n1- 01\n"
+        assert load_pla_esop(text, output=1).cube_count() == 1
+        assert load_pla_esop(text, output=0).cube_count() == 1
+        with pytest.raises(PlaError):
+            load_pla_esop(text, output=2)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "11 1\n",                      # missing headers
+            ".i 2\n.o 1\n111 1\n",         # column mismatch
+            ".i 2\n.o 1\n11 2\n",          # bad output symbol
+            ".i 2\n.o 1\n11\n",            # missing output field
+            ".i 2\n.o 1\n.magic\n11 1\n",  # unknown directive
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(PlaError):
+            load_pla_table(text)
+
+    def test_rd53_from_pla(self):
+        """Build rd53's table from PLA text and embed it — the MCNC
+        flow of Example 9."""
+        lines = [".i 5", ".o 3"]
+        for m in range(32):
+            weight = bin(m).count("1")
+            if weight:
+                lines.append(f"{m:05b} {weight:03b}")
+        table = load_pla_table("\n".join(lines))
+        from repro.functions.embedding import embed
+
+        embedding = embed(table)
+        assert embedding.permutation.num_vars == 7
+        assert embedding.restricts_to_table()

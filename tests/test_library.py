@@ -1,0 +1,99 @@
+"""Tests for repro.gates.library."""
+
+import random
+
+import pytest
+
+from repro.gates.fredkin import FredkinGate
+from repro.gates.library import GT, NCT, NCTS, GateLibrary, library_by_name
+from repro.gates.toffoli import ToffoliGate
+
+
+class TestEnumeration:
+    def test_nct_count_three_lines(self):
+        # 3 NOT + 6 CNOT + 3 TOF3 = 12 gates.
+        gates = list(NCT.gates(3))
+        assert len(gates) == 12
+        assert NCT.gate_count(3) == 12
+
+    def test_ncts_adds_swaps(self):
+        gates = list(NCTS.gates(3))
+        assert len(gates) == 15
+        assert sum(1 for g in gates if isinstance(g, FredkinGate)) == 3
+
+    def test_gt_count_three_lines(self):
+        # On 3 lines GT coincides with NCT.
+        assert GT.gate_count(3) == 12
+
+    def test_gt_scales(self):
+        # n * sum_k C(n-1, k) = n * 2^(n-1).
+        assert GT.gate_count(4) == 4 * 8
+
+    def test_enumeration_matches_count(self):
+        for library in (NCT, NCTS, GT):
+            for lines in (1, 2, 3, 4):
+                assert len(list(library.gates(lines))) == library.gate_count(
+                    lines
+                )
+
+    def test_gates_unique(self):
+        gates = list(GT.gates(4))
+        assert len(set(gates)) == len(gates)
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ValueError):
+            list(NCT.gates(0))
+
+
+class TestMembership:
+    def test_nct_allows_small_toffoli(self):
+        assert NCT.allows(ToffoliGate(0b011, 2))
+        assert not NCT.allows(ToffoliGate(0b0111, 3))
+
+    def test_gt_allows_any_toffoli(self):
+        assert GT.allows(ToffoliGate(0b11111110, 0))
+
+    def test_swap_membership(self):
+        swap_gate = FredkinGate(0, 0, 1)
+        assert NCTS.allows(swap_gate)
+        assert not NCT.allows(swap_gate)
+        assert not GT.allows(swap_gate)
+
+    def test_controlled_fredkin_not_in_ncts(self):
+        assert not NCTS.allows(FredkinGate(0b100, 0, 1))
+
+
+class TestRandomGate:
+    def test_random_gates_fit(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            gate = GT.random_gate(6, rng)
+            assert gate.min_lines() <= 6
+            assert GT.allows(gate) or isinstance(gate, FredkinGate)
+
+    def test_random_respects_size_limit(self):
+        rng = random.Random(2)
+        for _ in range(300):
+            gate = NCT.random_gate(8, rng)
+            if isinstance(gate, ToffoliGate):
+                assert gate.size <= 3
+
+    def test_random_covers_sizes(self):
+        rng = random.Random(3)
+        sizes = {GT.random_gate(6, rng).size for _ in range(500)}
+        assert {1, 2, 3, 4, 5, 6} <= sizes
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert library_by_name("nct") is NCT
+        assert library_by_name("GT") is GT
+        assert library_by_name("NCTS") is NCTS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            library_by_name("XYZ")
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            GateLibrary("bad", max_toffoli_size=0)

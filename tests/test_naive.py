@@ -1,0 +1,85 @@
+"""Tests for the naive one-gate-per-term baseline."""
+
+import pytest
+
+from repro.functions.permutation import Permutation
+from repro.pprm.parser import parse_system
+from repro.synth.naive import naive_gate_count, naive_synthesize
+
+
+class TestGateCount:
+    def test_identity_costs_nothing(self):
+        system = parse_system("a_out = a\nb_out = b")
+        assert naive_gate_count(system) == 0
+
+    def test_fig1_count(self, fig1_spec):
+        # a_out/b_out contribute 1 + 2 correction terms; c_out lacks its
+        # own literal, so all 3 of its terms count: 6 gates total.
+        assert naive_gate_count(fig1_spec.to_pprm()) == 6
+
+    def test_counts_missing_identity_terms(self):
+        # a_out = b has one non-identity term.
+        system = parse_system("a_out = b\nb_out = b")
+        assert naive_gate_count(system) == 1
+
+
+class TestSynthesize:
+    def test_identity(self):
+        system = parse_system("a_out = a\nb_out = b")
+        circuit = naive_synthesize(system)
+        assert circuit is not None
+        assert circuit.gate_count() == 0
+
+    def test_simple_separable_function(self):
+        # a_out = a + 1, b_out = b + a is realizable output-by-output:
+        # order matters (b must go before a is flipped... or after —
+        # the method picks a legal order).
+        system = parse_system("a_out = a + 1\nb_out = b + a")
+        circuit = naive_synthesize(system)
+        assert circuit is not None
+        assert circuit.to_pprm() == system
+
+    def test_entangled_function_fails(self):
+        # The wire swap has no safe output order: the naive method's
+        # weakness called out in Sec. I.
+        spec = Permutation([0, 2, 1, 3])
+        assert naive_synthesize(spec.to_pprm()) is None
+
+    def test_random_functions_defeat_naive(self, rng):
+        """Random permutations are entangled across outputs, so the
+        naive method almost always fails — the Sec. I motivation."""
+        solved = 0
+        for _ in range(60):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            circuit = naive_synthesize(spec.to_pprm())
+            if circuit is not None:
+                solved += 1
+                assert circuit.implements(spec)
+        assert solved <= 5
+
+    SEPARABLE_SYSTEMS = [
+        "a_out = a + 1\nb_out = b + a",
+        "a_out = a\nb_out = b + a + 1",
+        "a_out = a + b + 1\nb_out = b",
+        "a_out = a + bc\nb_out = b\nc_out = c + 1",
+    ]
+
+    @pytest.mark.parametrize("text", SEPARABLE_SYSTEMS)
+    def test_rmrls_never_worse_on_solvable_cases(self, text):
+        """When the naive method succeeds, RMRLS matches or beats it —
+        shared factors can only help (Sec. I)."""
+        from repro.pprm.parser import parse_system
+        from repro.synth.options import SynthesisOptions
+        from repro.synth.rmrls import synthesize
+
+        system = parse_system(text)
+        naive = naive_synthesize(system)
+        assert naive is not None
+        assert naive.to_pprm() == system
+        result = synthesize(
+            system, SynthesisOptions(dedupe_states=True, max_steps=20_000)
+        )
+        assert result.solved
+        assert result.gate_count <= naive.gate_count()

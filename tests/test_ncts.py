@@ -1,0 +1,59 @@
+"""Tests for NCTS synthesis (RMRLS + Fredkin folding) and DOT traces."""
+
+from repro.functions.permutation import Permutation
+from repro.synth import SynthesisOptions, synthesize, synthesize_ncts
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=20_000)
+
+
+class TestNctsSynthesis:
+    def test_fredkin_collapses_to_one_gate(self):
+        """Example 3's spec IS the Fredkin gate: NCTS synthesis returns
+        exactly one gate where NCT needs three."""
+        spec = Permutation([0, 1, 2, 3, 4, 6, 5, 7])
+        result = synthesize_ncts(spec, FAST)
+        assert result.solved
+        assert result.gate_count == 1
+        assert result.fredkin_count == 1
+        assert result.toffoli_circuit.gate_count() == 3
+        assert result.circuit.to_permutation() == spec
+
+    def test_never_more_gates_than_toffoli(self, rng):
+        for _ in range(8):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            result = synthesize_ncts(spec, FAST)
+            assert result.solved
+            assert result.gate_count <= result.toffoli_circuit.gate_count()
+            assert result.circuit.to_permutation() == spec
+
+    def test_unsolved_propagates(self):
+        spec = Permutation([0, 1, 2, 4, 3, 5, 6, 7])
+        result = synthesize_ncts(spec, FAST.with_(max_gates=2))
+        assert not result.solved
+        assert result.gate_count is None
+        assert result.fredkin_count == 0
+
+    def test_identity(self):
+        result = synthesize_ncts(Permutation.identity(2), FAST)
+        assert result.gate_count == 0
+
+
+class TestDotExport:
+    def test_dot_structure(self, fig1_spec):
+        result = synthesize(fig1_spec, FAST.with_(record_trace=True))
+        dot = result.trace.to_dot()
+        assert dot.startswith("digraph search {")
+        assert dot.rstrip().endswith("}")
+        assert "peripheries=2" in dot  # a solution node
+        assert "->" in dot
+
+    def test_dot_node_cap(self, fig1_spec):
+        result = synthesize(fig1_spec, FAST.with_(record_trace=True))
+        dot = result.trace.to_dot(max_nodes=2)
+        # root + at most 2 created nodes (solutions may add labels).
+        node_lines = [
+            line for line in dot.splitlines() if "[label=" in line
+        ]
+        assert len(node_lines) <= 4

@@ -1,0 +1,86 @@
+"""Tests for the optimal BFS baseline — reproduces Table I's optimal
+columns exactly."""
+
+import pytest
+
+from repro.baselines.optimal import (
+    optimal_distances,
+    optimal_distribution,
+    optimal_synthesize,
+)
+from repro.functions.permutation import Permutation
+from repro.gates.library import NCT, NCTS
+
+# The paper's Table I optimal columns (Shende et al. [16]).
+PAPER_OPTIMAL_NCT = {
+    0: 1, 1: 12, 2: 102, 3: 625, 4: 2780,
+    5: 8921, 6: 17049, 7: 10253, 8: 577,
+}
+PAPER_OPTIMAL_NCTS = {
+    0: 1, 1: 15, 2: 134, 3: 844, 4: 3752,
+    5: 11194, 6: 17531, 7: 6817, 8: 32,
+}
+
+
+class TestExhaustiveSweep:
+    def test_table1_nct_column_exact(self):
+        assert optimal_distribution(3, NCT) == PAPER_OPTIMAL_NCT
+
+    def test_table1_ncts_column_exact(self):
+        assert optimal_distribution(3, NCTS) == PAPER_OPTIMAL_NCTS
+
+    def test_two_variable_sweep_covers_group(self):
+        distances = optimal_distances(2, NCT)
+        assert len(distances) == 24  # 4! functions
+
+    def test_four_variables_guarded(self):
+        with pytest.raises(ValueError):
+            optimal_distances(4, NCT)
+
+
+class TestBidirectionalSynthesis:
+    def test_identity(self):
+        circuit = optimal_synthesize(Permutation.identity(3), NCT)
+        assert circuit.gate_count() == 0
+
+    def test_matches_exhaustive_distances(self, rng):
+        distances = optimal_distances(3, NCT)
+        images_list = rng.sample(list(distances), 40)
+        for images in images_list:
+            spec = Permutation(images)
+            circuit = optimal_synthesize(spec, NCT, max_gates=9)
+            assert circuit is not None
+            assert circuit.implements(spec)
+            assert circuit.gate_count() == distances[images]
+
+    def test_gives_up_beyond_budget(self):
+        # 3_17 needs 6 gates; a 2-gate budget must return None.
+        spec = Permutation([7, 1, 4, 3, 0, 2, 6, 5])
+        assert optimal_synthesize(spec, NCT, max_gates=2) is None
+
+    def test_four_variable_shallow(self):
+        # Example 7 has a known 4-gate realization.
+        spec = Permutation(list(range(1, 16)) + [0])
+        from repro.gates.library import GT
+
+        circuit = optimal_synthesize(spec, GT, max_gates=4)
+        assert circuit is not None
+        assert circuit.implements(spec)
+        assert circuit.gate_count() == 4
+
+
+class TestOptimalityCrossChecks:
+    def test_rmrls_never_beats_optimal(self, rng):
+        """Sanity: no synthesized circuit may undercut the optimum."""
+        from repro.synth.options import SynthesisOptions
+        from repro.synth.rmrls import synthesize
+
+        distances = optimal_distances(3, NCT)
+        options = SynthesisOptions(dedupe_states=True, max_steps=20_000)
+        for _ in range(15):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            result = synthesize(spec, options)
+            assert result.solved
+            assert result.gate_count >= distances[tuple(images)]

@@ -1,0 +1,60 @@
+"""Tests for SynthesisOptions validation and presets."""
+
+import pytest
+
+from repro.synth.options import BASIC_OPTIONS, GREEDY_OPTIONS, SynthesisOptions
+
+
+class TestDefaults:
+    def test_paper_weights(self):
+        options = SynthesisOptions()
+        assert (options.alpha, options.beta, options.gamma) == (0.3, 0.6, 0.1)
+
+    def test_weights_sum_to_one(self):
+        options = SynthesisOptions()
+        assert options.alpha + options.beta + options.gamma == pytest.approx(1)
+
+    def test_default_has_no_heuristics(self):
+        options = SynthesisOptions()
+        assert options.greedy_k is None
+        assert options.restart_steps is None
+
+    def test_greedy_preset(self):
+        assert GREEDY_OPTIONS.greedy_k == 1
+        assert GREEDY_OPTIONS.restart_steps == 10_000
+
+    def test_basic_preset_is_default(self):
+        assert BASIC_OPTIONS == SynthesisOptions()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("greedy_k", 0),
+            ("max_gates", -1),
+            ("restart_steps", 0),
+            ("max_steps", 0),
+            ("max_restarts", -1),
+            ("time_limit", -1.0),
+            ("growth_exempt_literals", -2),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SynthesisOptions(**{field: value})
+
+    def test_with_returns_copy(self):
+        base = SynthesisOptions()
+        changed = base.with_(greedy_k=3)
+        assert changed.greedy_k == 3
+        assert base.greedy_k is None
+
+    def test_basic_strips_heuristics(self):
+        options = GREEDY_OPTIONS.basic()
+        assert options.greedy_k is None
+        assert options.restart_steps is None
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SynthesisOptions().alpha = 0.5

@@ -1,0 +1,84 @@
+"""Internal-consistency checks on the transcribed paper data.
+
+The published tables carry redundant information (histograms plus
+averages, bucket counts plus sample sizes); these tests verify the
+transcription agrees with itself, which also catches typos against the
+paper.
+"""
+
+import pytest
+
+from repro.experiments.paper_data import (
+    EXAMPLE_GATE_COUNTS,
+    SCALABILITY_BUCKETS,
+    TABLE1,
+    TABLE1_AVERAGES,
+    TABLE2_SIZES,
+    TABLE3_FAILED,
+    TABLE3_SIZES,
+    TABLE4,
+    TABLE4_NCT_NAMES,
+    TABLE5,
+    TABLE6,
+    TABLE7,
+)
+
+
+class TestTable1Consistency:
+    @pytest.mark.parametrize("column", sorted(TABLE1))
+    def test_histogram_matches_published_average(self, column):
+        histogram = TABLE1[column]
+        total = sum(histogram.values())
+        average = sum(size * count for size, count in histogram.items()) / total
+        assert average == pytest.approx(TABLE1_AVERAGES[column], abs=0.005)
+
+
+class TestTable3Consistency:
+    def test_sizes_plus_failures_total_3000(self):
+        assert sum(TABLE3_SIZES.values()) + TABLE3_FAILED == 3000
+
+    def test_sizes_within_gate_cap(self):
+        # Protocol capped circuits at 60 gates.
+        assert max(TABLE3_SIZES) <= 60
+        assert min(TABLE3_SIZES) >= 1
+
+
+class TestTable4Consistency:
+    def test_nct_names_are_table4_rows(self):
+        assert TABLE4_NCT_NAMES <= set(TABLE4)
+
+    def test_best_published_fields_paired(self):
+        # Gates and cost from [13] are either both present or both "-".
+        for name, row in TABLE4.items():
+            assert (row[4] is None) == (row[5] is None), name
+
+    def test_cnot_only_rows_cost_equals_gates(self):
+        for name in ("graycode6", "graycode10", "graycode20", "xor5"):
+            row = TABLE4[name]
+            assert row[2] == row[3], name
+
+    def test_example_counts_agree_with_table4(self):
+        # Examples re-listed in Table IV carry the same gate count.
+        for name in ("rd53", "alu", "decod24", "5one013", "majority5"):
+            assert EXAMPLE_GATE_COUNTS[name] == TABLE4[name][2], name
+
+
+class TestScalabilityTables:
+    @pytest.mark.parametrize(
+        "table,sample", [(TABLE5, 500), (TABLE6, 1000), (TABLE7, 1000)]
+    )
+    def test_rows_sum_to_sample(self, table, sample):
+        for variables, (buckets, failed) in table.items():
+            assert sum(buckets) + failed == sample, variables
+            assert len(buckets) == len(SCALABILITY_BUCKETS)
+
+    def test_failure_grows_with_gate_cap(self):
+        """The paper's headline scalability trend: for every variable
+        count, the 25-gate setting fails at least as often as the
+        15-gate setting."""
+        for variables in TABLE5:
+            assert TABLE7[variables][1] >= TABLE5[variables][1], variables
+
+    def test_variables_cover_6_to_16(self):
+        for table in (TABLE5, TABLE6, TABLE7):
+            assert sorted(table) == list(range(6, 17))

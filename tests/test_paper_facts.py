@@ -1,0 +1,131 @@
+"""End-to-end checks of facts the paper states explicitly.
+
+These tests pin the reproduction to the paper: equation (3), the worked
+examples' printed circuits, Fig. 6's substitution lists, the Table I
+optimal columns, and the convergence/completeness discussion of
+Sec. IV-F (including the deviations documented in DESIGN.md).
+"""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.pprm.parser import format_system
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=30_000)
+
+
+class TestEquation3:
+    def test_pprm_of_fig1(self, fig1_spec):
+        text = format_system(fig1_spec.to_pprm())
+        assert text.splitlines() == [
+            "c_out = b + ab + ac",
+            "b_out = b + c + ac",
+            "a_out = 1 + a",
+        ]
+
+
+class TestPrintedCircuits:
+    """Every Toffoli cascade printed in Sec. V-C implements its
+    specification."""
+
+    CASES = [
+        ("TOF3(c, a, b) TOF3(c, b, a) TOF3(c, a, b) TOF1(a)",
+         [1, 0, 3, 2, 5, 7, 4, 6], 3),                       # Example 1
+        ("TOF1(a) TOF2(a, b) TOF3(b, a, c)",
+         [7, 0, 1, 2, 3, 4, 5, 6], 3),                       # Example 2
+        ("TOF3(c, a, b) TOF3(c, b, a) TOF3(c, a, b)",
+         [0, 1, 2, 3, 4, 6, 5, 7], 3),                       # Example 3
+        ("TOF2(c, b) TOF3(c, b, a) TOF3(b, a, c) TOF3(c, b, a) "
+         "TOF3(c, b, a) TOF2(c, b)",
+         None, 3),                                           # Example 4 (*)
+        ("TOF3(b, a, c) TOF2(a, b) TOF1(a)",
+         [1, 2, 3, 4, 5, 6, 7, 0], 3),                       # Example 6
+        ("TOF4(c, b, a, d) TOF3(b, a, c) TOF2(a, b) TOF1(a)",
+         [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0], 4),
+        ("TOF3(b, a, d) TOF2(a, b) TOF3(c, b, d) TOF2(b, c)",
+         [0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5], 4),
+    ]
+
+    @pytest.mark.parametrize("text,images,lines", CASES)
+    def test_cascade(self, text, images, lines):
+        circuit = Circuit.parse(lines, text)
+        if images is None:
+            # Example 4's printed cascade contains a repeated adjacent
+            # gate pair (TOF3(c,b,a) twice) and does NOT realize its
+            # stated swap spec {0,1,2,4,3,5,6,7}; see the
+            # acknowledgment of a circuit erratum.  We check only that
+            # it parses and is reversible.
+            assert circuit.gate_count() == 6
+            return
+        assert circuit.implements(Permutation(images))
+
+    def test_example4_printed_circuit_is_erroneous(self):
+        """The duplicated TOF3(c,b,a) pair cancels, leaving a 4-gate
+        cascade that does not implement the swap {0,1,2,4,3,5,6,7}; our
+        tool finds a correct 5-gate realization instead."""
+        printed = Circuit.parse(
+            3,
+            "TOF2(c, b) TOF3(c, b, a) TOF3(b, a, c) TOF3(c, b, a) "
+            "TOF3(c, b, a) TOF2(c, b)",
+        )
+        spec = Permutation([0, 1, 2, 4, 3, 5, 6, 7])
+        assert not printed.implements(spec)
+        result = synthesize(spec, FAST)
+        assert result.verify(spec)
+        assert result.gate_count <= 6
+
+    def test_rd53_printed_circuit_parses(self):
+        text = (
+            "TOF3(a, b, f) TOF2(b, a) TOF3(a, c, f) TOF2(c, a) "
+            "TOF5(a, b, c, d, g) TOF3(a, d, f) TOF2(a, d) "
+            "TOF4(b, d, e, g) TOF2(c, b) TOF3(d, e, f) "
+            "TOF5(a, b, d, e, g) TOF5(b, c, d, e, g) TOF2(d, e)"
+        )
+        circuit = Circuit.parse(7, text)
+        assert circuit.gate_count() == 13  # the paper's Table IV count
+
+
+class TestTable1OptimalColumns:
+    def test_both_columns_exact(self):
+        from repro.baselines.optimal import optimal_distribution
+        from repro.experiments.paper_data import TABLE1
+        from repro.gates.library import NCT, NCTS
+
+        assert optimal_distribution(3, NCT) == TABLE1["optimal_nct"]
+        assert optimal_distribution(3, NCTS) == TABLE1["optimal_ncts"]
+
+
+class TestSection4FCompleteness:
+    """Sec. IV-F claims the basic algorithm always converges; the
+    literal pseudocode does not (DESIGN.md/EXPERIMENTS.md), and these
+    tests pin the measured boundary."""
+
+    def test_default_rules_solve_sampled_functions(self, rng):
+        for _ in range(15):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            result = synthesize(spec, FAST)
+            assert result.solved, images
+            assert result.verify(spec)
+
+    def test_literal_rules_fail_on_wire_swap(self):
+        spec = Permutation([0, 2, 1, 3, 4, 6, 5, 7])
+        literal = FAST.with_(growth_exempt_literals=0, max_steps=10_000)
+        assert not synthesize(spec, literal).solved
+
+    def test_average_tracks_paper_table1(self, rng):
+        """Sampled average gate count should sit near the paper's 6.10
+        (and never beat the optimal column's 5.87)."""
+        total = 0
+        count = 40
+        for _ in range(count):
+            images = list(range(8))
+            rng.shuffle(images)
+            result = synthesize(Permutation(images), FAST)
+            total += result.gate_count
+        average = total / count
+        assert 5.5 <= average <= 6.8

@@ -1,0 +1,119 @@
+"""Tests for repro.pprm.parser."""
+
+import pytest
+
+from repro.pprm.expansion import Expansion
+from repro.pprm.parser import (
+    format_expansion,
+    format_system,
+    parse_expansion,
+    parse_system,
+    parse_term,
+)
+
+
+class TestParseTerm:
+    def test_single_literal(self):
+        assert parse_term("a") == 0b001
+
+    def test_product(self):
+        assert parse_term("ac") == 0b101
+
+    def test_constant(self):
+        assert parse_term("1") == 0
+
+    def test_extended_names(self):
+        assert parse_term("x10") == 1 << 10
+
+    def test_mixed_extended_and_short(self):
+        assert parse_term("ax3") == 0b1001
+
+    def test_explicit_product_symbols(self):
+        assert parse_term("a*c") == 0b101
+        assert parse_term("a·c") == 0b101
+
+    def test_duplicate_literal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_term("aa")
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            parse_term("0")
+
+    def test_constant_mixed_with_literals_rejected(self):
+        with pytest.raises(ValueError):
+            parse_term("1a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_term("  ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_term("a$b")
+
+
+class TestParseExpansion:
+    def test_paper_notation(self):
+        e = parse_expansion("b + c + ac")
+        assert e.terms == frozenset({0b010, 0b100, 0b101})
+
+    def test_xor_separators(self):
+        for text in ("a ^ 1", "a (+) 1", "a ⊕ 1", "a + 1"):
+            assert parse_expansion(text).terms == frozenset({0b1, 0})
+
+    def test_zero(self):
+        assert parse_expansion("0").is_zero()
+        assert parse_expansion("").is_zero()
+
+    def test_duplicates_cancel(self):
+        assert parse_expansion("a + a").is_zero()
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expansion("a + + b")
+
+
+class TestParseSystem:
+    def test_round_trip(self, fig1_spec):
+        system = fig1_spec.to_pprm()
+        assert parse_system(format_system(system)) == system
+
+    def test_accepts_out_suffixes(self):
+        text = "aout = b\nb_out = a"
+        system = parse_system(text)
+        assert system.output(0).terms == frozenset({0b10})
+
+    def test_comments_and_blanks(self):
+        system = parse_system("# comment\n\na_out = a\n")
+        assert system.is_identity()
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(ValueError):
+            parse_system("a_out = a\na_out = b")
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(ValueError):
+            parse_system("a_out = a\nc_out = c")
+
+    def test_no_equals_rejected(self):
+        with pytest.raises(ValueError):
+            parse_system("nonsense")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_system("   \n  ")
+
+
+class TestFormatting:
+    def test_format_expansion_custom_separator(self):
+        e = parse_expansion("a + b")
+        assert format_expansion(e, " (+) ") == "a (+) b"
+
+    def test_format_zero(self):
+        assert format_expansion(Expansion.zero()) == "0"
+
+    def test_format_system_order(self, fig1_spec):
+        lines = format_system(fig1_spec.to_pprm()).splitlines()
+        assert lines[0].startswith("c_out")
+        assert lines[-1].startswith("a_out")

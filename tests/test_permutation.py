@@ -1,0 +1,120 @@
+"""Tests for repro.functions.permutation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.permutation import Permutation, random_permutation
+
+perm8 = st.permutations(list(range(8)))
+
+
+class TestValidation:
+    def test_identity(self):
+        p = Permutation.identity(2)
+        assert p.is_identity()
+        assert p.num_vars == 2
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1, 2])
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1, 2])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation([0])
+
+    def test_paper_notation(self, fig1_spec):
+        assert str(fig1_spec) == "{1, 0, 7, 2, 3, 4, 5, 6}"
+
+
+class TestGroupLaws:
+    @given(perm8)
+    def test_inverse_composes_to_identity(self, images):
+        p = Permutation(images)
+        assert (p @ p.inverse()).is_identity()
+        assert (p.inverse() @ p).is_identity()
+
+    @given(perm8, perm8)
+    def test_composition_pointwise(self, first, second):
+        f = Permutation(first)
+        g = Permutation(second)
+        composed = f @ g
+        for m in range(8):
+            assert composed(m) == f(g(m))
+
+    def test_composition_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(2) @ Permutation.identity(3)
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles(3, [[0, 1]])
+        assert p(0) == 1 and p(1) == 0 and p(2) == 2
+
+    def test_from_cycles_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(3, [[0, 1], [1, 2]])
+
+    def test_from_cycles_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(2, [[0, 4]])
+
+
+class TestMeasures:
+    def test_fixed_points(self, fig1_spec):
+        assert fig1_spec.fixed_points() == 0
+        assert Permutation.identity(3).fixed_points() == 8
+
+    def test_hamming_complexity_identity(self):
+        assert Permutation.identity(3).hamming_complexity() == 0
+
+    def test_hamming_complexity_not_gate(self):
+        # NOT on line 0 flips one bit per row.
+        p = Permutation([1, 0, 3, 2])
+        assert p.hamming_complexity() == 4
+
+    def test_parity_of_transposition(self):
+        p = Permutation.from_cycles(2, [[0, 1]])
+        assert p.parity() == 1
+
+    def test_parity_of_three_cycle(self):
+        p = Permutation.from_cycles(2, [[0, 1, 2]])
+        assert p.parity() == 0
+
+    @given(perm8, perm8)
+    def test_parity_is_homomorphism(self, first, second):
+        f = Permutation(first)
+        g = Permutation(second)
+        assert (f @ g).parity() == (f.parity() + g.parity()) % 2
+
+
+class TestOutputPermuted:
+    def test_swap_wires(self):
+        # f = identity; swapping output wires 0 and 1 relabels bits.
+        p = Permutation.identity(2).output_permuted([1, 0])
+        assert list(p.images) == [0, 2, 1, 3]
+
+    def test_invalid_map_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(2).output_permuted([0, 0])
+
+    @given(perm8)
+    def test_output_permutation_preserves_group(self, images):
+        p = Permutation(images).output_permuted([2, 0, 1])
+        assert sorted(p.images) == list(range(8))
+
+
+class TestRandom:
+    def test_random_is_permutation(self, rng):
+        p = random_permutation(4, rng)
+        assert sorted(p.images) == list(range(16))
+
+    def test_random_deterministic_per_seed(self):
+        import random
+
+        a = random_permutation(3, random.Random(7))
+        b = random_permutation(3, random.Random(7))
+        assert a == b

@@ -1,0 +1,47 @@
+"""Tests for circuit profiling."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.profile import profile_circuit
+from repro.gates.fredkin import FredkinGate
+
+
+class TestProfile:
+    def test_empty_circuit(self):
+        profile = profile_circuit(Circuit.identity(3))
+        assert profile.gate_count == 0
+        assert profile.quantum_cost == 0
+        assert profile.max_gate_size == 0
+        assert profile.busiest_line() is None
+
+    def test_fig3d_breakdown(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)")
+        profile = profile_circuit(circuit)
+        assert profile.toffoli_by_size == {1: 1, 3: 2}
+        assert profile.cost_by_size == {1: 1, 3: 10}
+        assert profile.quantum_cost == 11
+        assert profile.max_gate_size == 3
+
+    def test_line_activity(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF2(a, b) TOF2(a, c)")
+        profile = profile_circuit(circuit)
+        assert profile.line_activity == [3, 1, 1]
+        assert profile.busiest_line() == 0
+
+    def test_fredkin_counted(self):
+        circuit = Circuit(3, [FredkinGate(0b100, 0, 1)])
+        profile = profile_circuit(circuit)
+        assert profile.fredkin_by_size == {3: 1}
+        assert profile.quantum_cost == circuit.quantum_cost()
+
+    def test_render(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF3(a, c, b)")
+        text = profile_circuit(circuit).render()
+        assert "TOF1" in text and "TOF3" in text and "total" in text
+
+    def test_cost_sums_match(self):
+        circuit = Circuit.parse(
+            4, "TOF1(a) TOF2(a, b) TOF3(a, b, c) TOF4(a, b, c, d)"
+        )
+        profile = profile_circuit(circuit)
+        assert sum(profile.cost_by_size.values()) == profile.quantum_cost
+        assert sum(profile.toffoli_by_size.values()) == profile.gate_count

@@ -1,0 +1,135 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each property ties two independent implementations of the same concept
+together — simulation vs algebra, synthesis vs verification, writers vs
+parsers — so a bug in either side breaks the test.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.transformation import transformation_synthesize
+from repro.circuits.circuit import Circuit
+from repro.circuits.decompose import decompose_circuit
+from repro.circuits.random_circuits import random_circuit
+from repro.circuits.verify import equivalent, symbolic_pprm
+from repro.functions.permutation import Permutation
+from repro.functions.truth_table import TruthTable
+from repro.gates.library import GT, NCT
+from repro.io.pla import dump_pla, load_pla_table
+from repro.io.real_format import dump_real, load_real
+from repro.postprocess.fredkin_extract import extract_fredkin
+from repro.postprocess.templates import simplify
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+perm8 = st.permutations(list(range(8)))
+seeds = st.integers(0, 10_000)
+
+
+def _random_circuit(seed: int, num_lines: int = 4, max_gates: int = 10,
+                    library=GT) -> Circuit:
+    rng = random.Random(seed)
+    return random_circuit(num_lines, rng.randint(0, max_gates), rng, library)
+
+
+class TestSynthesisProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(perm8)
+    def test_rmrls_and_transformation_agree(self, images):
+        """Two completely different synthesizers realize the same
+        function."""
+        spec = Permutation(images)
+        ours = synthesize(
+            spec, SynthesisOptions(dedupe_states=True, max_steps=15_000)
+        )
+        theirs = transformation_synthesize(spec)
+        assert ours.solved
+        assert equivalent(ours.circuit, theirs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_synthesis_of_circuit_specs(self, seed):
+        """Round trip: circuit -> PPRM -> synthesis -> same function."""
+        original = _random_circuit(seed)
+        result = synthesize(
+            original.to_pprm(),
+            SynthesisOptions(
+                dedupe_states=True, max_steps=10_000, greedy_k=3,
+                restart_steps=2_000, max_gates=40,
+            ),
+        )
+        if result.solved:
+            assert equivalent(result.circuit, original)
+
+
+class TestAlgebraVsSimulation:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_symbolic_pprm_matches_simulation(self, seed):
+        circuit = _random_circuit(seed)
+        assert symbolic_pprm(circuit).to_images() == list(
+            circuit.to_permutation().images
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_inverse_circuit_composes_to_identity(self, seed):
+        circuit = _random_circuit(seed)
+        assert circuit.then(circuit.inverse()).to_permutation().is_identity()
+
+
+class TestRewriteSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_simplify_preserves_function(self, seed):
+        circuit = _random_circuit(seed)
+        reduced = simplify(circuit)
+        assert reduced.gate_count() <= circuit.gate_count()
+        assert equivalent(reduced, circuit)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_fredkin_extraction_preserves_function(self, seed):
+        circuit = _random_circuit(seed)
+        extracted = extract_fredkin(circuit)
+        assert extracted.gate_count() <= circuit.gate_count()
+        assert extracted.to_permutation() == circuit.to_permutation()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds)
+    def test_decomposition_preserves_function(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(6, rng.randint(0, 6), rng, GT)
+        has_room = all(
+            gate.size <= 3 or gate.size < circuit.num_lines
+            for gate in circuit.gates
+        )
+        if not has_room:
+            return
+        nct = decompose_circuit(circuit)
+        assert nct.max_gate_size() <= 3
+        assert equivalent(nct, circuit)
+
+
+class TestInterchangeRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_real_round_trip(self, seed):
+        circuit = _random_circuit(seed, num_lines=5)
+        assert load_real(dump_real(circuit)) == circuit
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=8, max_size=8))
+    def test_pla_round_trip(self, rows):
+        table = TruthTable(3, 3, rows)
+        assert load_pla_table(dump_pla(table)) == table
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_real_preserves_semantics(self, seed):
+        circuit = _random_circuit(seed, library=NCT)
+        parsed = load_real(dump_real(circuit))
+        assert parsed.to_permutation() == circuit.to_permutation()

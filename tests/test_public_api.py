@@ -1,0 +1,48 @@
+"""The documented public API stays importable and coherent."""
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_unknown_attribute(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            repro.no_such_thing
+
+    def test_readme_quickstart(self):
+        spec = repro.Permutation([1, 0, 7, 2, 3, 4, 5, 6])
+        result = repro.synthesize(spec)
+        assert str(result.circuit) == "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)"
+        assert result.circuit.implements(spec)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.baselines
+        import repro.benchlib
+        import repro.circuits
+        import repro.esop
+        import repro.experiments
+        import repro.functions
+        import repro.gates
+        import repro.io
+        import repro.postprocess
+        import repro.pprm
+        import repro.synth
+        import repro.utils
+
+        for module in (
+            repro.baselines, repro.benchlib, repro.circuits, repro.esop,
+            repro.experiments, repro.functions, repro.gates, repro.io,
+            repro.postprocess, repro.pprm, repro.synth, repro.utils,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (
+                    module.__name__, name
+                )

@@ -1,0 +1,64 @@
+"""Tests for the Tables V-VII random circuit generator."""
+
+import random
+
+import pytest
+
+from repro.circuits.random_circuits import (
+    random_circuit,
+    random_circuit_specification,
+)
+from repro.gates.library import GT, NCT
+
+
+class TestRandomCircuit:
+    def test_gate_count(self, rng):
+        circuit = random_circuit(6, 15, rng)
+        assert circuit.gate_count() == 15
+        assert circuit.num_lines == 6
+
+    def test_zero_gates(self, rng):
+        assert random_circuit(3, 0, rng).gate_count() == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_circuit(3, -1, rng)
+
+    def test_deterministic_per_seed(self):
+        a = random_circuit(5, 10, random.Random(3))
+        b = random_circuit(5, 10, random.Random(3))
+        assert a == b
+
+    def test_nct_library_respected(self, rng):
+        circuit = random_circuit(8, 50, rng, NCT)
+        assert circuit.max_gate_size() <= 3
+
+    def test_gt_draws_large_gates(self, rng):
+        sizes = {
+            random_circuit(8, 1, rng, GT).gates[0].size for _ in range(200)
+        }
+        assert max(sizes) > 3
+
+
+class TestSpecificationProtocol:
+    def test_exact_gate_count(self, rng):
+        spec, circuit = random_circuit_specification(5, 12, rng, exact=True)
+        assert circuit.gate_count() == 12
+        assert circuit.to_permutation() == spec
+
+    def test_bounded_gate_count(self, rng):
+        for _ in range(20):
+            spec, circuit = random_circuit_specification(4, 9, rng)
+            assert 1 <= circuit.gate_count() <= 9
+            assert circuit.to_permutation() == spec
+
+    def test_invalid_max_gates(self, rng):
+        with pytest.raises(ValueError):
+            random_circuit_specification(4, 0, rng)
+
+    def test_specification_certifies_upper_bound(self, rng):
+        """The generated circuit witnesses that the spec needs at most
+        max_gates gates — the premise of Tables V-VII."""
+        spec, circuit = random_circuit_specification(4, 6, rng, exact=True)
+        assert circuit.gate_count() <= 6
+        assert circuit.implements(spec)

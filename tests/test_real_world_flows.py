@@ -1,0 +1,79 @@
+"""End-to-end flows a downstream user would run.
+
+Each test strings several subsystems together the way the examples
+and the CLI do: specification -> synthesis -> post-processing ->
+verification -> serialization.
+"""
+
+from repro.benchlib.specs import benchmark
+from repro.circuits.verify import equivalent
+from repro.functions.dontcare import synthesize_with_dont_cares
+from repro.functions.truth_table import TruthTable
+from repro.io.pla import dump_pla, load_pla_table
+from repro.io.real_format import dump_real, load_real
+from repro.postprocess.templates import simplify
+from repro.synth.ncts import synthesize_ncts
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=20_000)
+
+
+class TestSynthesisToFileFlow:
+    def test_benchmark_to_real_and_back(self):
+        spec = benchmark("3_17")
+        result = synthesize(spec.pprm(), FAST)
+        assert result.solved
+        circuit = simplify(result.circuit)
+        assert spec.verify(circuit)
+        reloaded = load_real(dump_real(circuit))
+        assert equivalent(reloaded, circuit)
+        assert spec.verify(reloaded)
+
+    def test_ncts_flow_round_trips_fredkin(self):
+        spec = benchmark("fredkin")
+        ncts = synthesize_ncts(spec.permutation, FAST)
+        assert ncts.gate_count == 1
+        text = dump_real(ncts.circuit)
+        assert "f3" in text
+        assert load_real(text).to_permutation() == spec.permutation
+
+
+class TestPlaToCircuitFlow:
+    def test_majority_pla_flow(self):
+        table = TruthTable.from_function(
+            3, 1, lambda m: 1 if bin(m).count("1") >= 2 else 0
+        )
+        # Serialize, reload, embed, synthesize, verify.
+        reloaded = load_pla_table(dump_pla(table))
+        assert reloaded == table
+        result = synthesize_with_dont_cares(reloaded, FAST)
+        assert result.solved
+        assert result.embedding.restricts_to_table()
+
+    def test_incrementer_pla_flow(self):
+        # A reversible table straight from PLA: the 2-bit incrementer.
+        text = ".i 2\n.o 2\n00 01\n01 10\n10 11\n11 00\n.e\n"
+        table = load_pla_table(text)
+        assert table.is_reversible()
+        from repro.functions.permutation import Permutation
+
+        spec = Permutation(list(table.rows))
+        result = synthesize(spec, FAST)
+        assert result.solved
+        assert result.verify(spec)
+        assert result.gate_count <= 2  # CNOT + NOT
+
+
+class TestDrawAndProfileFlow:
+    def test_drawing_of_synthesized_benchmark(self):
+        from repro.circuits.drawing import draw_circuit
+        from repro.circuits.profile import profile_circuit
+
+        spec = benchmark("example1")
+        result = synthesize(spec.pprm(), FAST)
+        drawing = draw_circuit(result.circuit)
+        assert drawing.count("\n") >= 4
+        profile = profile_circuit(result.circuit)
+        assert profile.gate_count == result.gate_count
+        assert profile.quantum_cost == result.circuit.quantum_cost()

@@ -1,0 +1,36 @@
+"""Tests for the aggregate report generator (structure only; the full
+run is exercised by `rmrls report` and the benches)."""
+
+from repro.experiments.report import _section, generate_report
+
+
+class TestSectionHelper:
+    def test_section_format(self):
+        text = _section("Title", "body line")
+        assert text.startswith("## Title")
+        assert "```\nbody line\n```" in text
+
+
+class TestReportComposition:
+    def test_source_includes_every_experiment(self):
+        import inspect
+
+        source = inspect.getsource(generate_report)
+        for marker in (
+            "run_table1",
+            "run_random_functions(4",
+            "run_random_functions(5",
+            "run_table4",
+            "run_scalability",
+            "run_examples",
+            "figure1_and_3d",
+            "figure9_alu",
+        ):
+            assert marker in source, marker
+
+    def test_progress_callback_signature(self):
+        import inspect
+
+        parameters = inspect.signature(generate_report).parameters
+        assert "progress" in parameters
+        assert "table1_sample" in parameters

@@ -1,0 +1,205 @@
+"""Tests for the RMRLS core algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.functions.permutation import Permutation
+from repro.pprm.system import PPRMSystem
+from repro.synth.options import GREEDY_OPTIONS, SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=20_000)
+
+
+class TestBasicBehaviour:
+    def test_identity_needs_no_gates(self):
+        result = synthesize(Permutation.identity(3), FAST)
+        assert result.solved
+        assert result.gate_count == 0
+
+    def test_fig1_three_gates(self, fig1_spec):
+        """The running example synthesizes into Fig. 3(d)'s circuit."""
+        result = synthesize(fig1_spec, FAST)
+        assert result.gate_count == 3
+        assert result.verify(fig1_spec)
+        assert result.circuit == Circuit.parse(
+            3, "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)"
+        )
+
+    def test_accepts_image_list(self):
+        result = synthesize([1, 0, 3, 2], FAST)
+        assert result.solved
+        assert result.gate_count == 1
+
+    def test_accepts_pprm_system(self, fig1_spec):
+        result = synthesize(fig1_spec.to_pprm(), FAST)
+        assert result.gate_count == 3
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            synthesize(42)
+
+    def test_keyword_option_overrides(self, fig1_spec):
+        result = synthesize(fig1_spec, FAST, max_steps=5)
+        assert result.options.max_steps == 5
+
+    def test_single_not_gate(self):
+        result = synthesize([1, 0], FAST)
+        assert result.gate_count == 1
+        assert str(result.circuit) == "TOF1(a)"
+
+
+class TestPaperExamples:
+    """The worked examples of Sec. V-C: verified circuits at (or below)
+    the paper's gate counts."""
+
+    CASES = [
+        ([1, 0, 3, 2, 5, 7, 4, 6], 4),        # Example 1
+        ([7, 0, 1, 2, 3, 4, 5, 6], 3),        # Example 2
+        ([0, 1, 2, 3, 4, 6, 5, 7], 3),        # Example 3 (Fredkin)
+        ([0, 1, 2, 4, 3, 5, 6, 7], 6),        # Example 4
+        ([1, 2, 3, 4, 5, 6, 7, 0], 3),        # Example 6
+    ]
+
+    @pytest.mark.parametrize("images,paper_gates", CASES)
+    def test_example(self, images, paper_gates):
+        spec = Permutation(images)
+        result = synthesize(spec, FAST)
+        assert result.verify(spec)
+        assert result.gate_count <= paper_gates
+
+
+class TestWireSwapCompleteness:
+    """The strict paper rule cannot synthesize wire swaps; the default
+    linear growth exemption can (see SynthesisOptions docs)."""
+
+    WIRE_SWAP = [0, 2, 1, 3, 4, 6, 5, 7]
+
+    def test_default_options_solve_swap(self):
+        spec = Permutation(self.WIRE_SWAP)
+        result = synthesize(spec, FAST)
+        assert result.verify(spec)
+        assert result.gate_count == 3  # three CNOTs
+
+    def test_paper_literal_rule_fails(self):
+        options = FAST.with_(growth_exempt_literals=0, max_steps=5_000)
+        result = synthesize(Permutation(self.WIRE_SWAP), options)
+        assert not result.solved
+
+    def test_strict_basic_rule_fails(self):
+        options = FAST.with_(
+            growth_exempt_literals=-1,
+            complement_substitutions=False,
+            extended_substitutions=False,
+            growth_when_stuck=False,
+            max_steps=5_000,
+        )
+        result = synthesize(Permutation(self.WIRE_SWAP), options)
+        assert not result.solved
+
+
+class TestBudgets:
+    def test_step_budget_respected(self, rng):
+        images = list(range(16))
+        rng.shuffle(images)
+        result = synthesize(Permutation(images), FAST, max_steps=50)
+        assert result.stats.steps <= 50
+        if not result.solved:
+            assert result.stats.step_limited
+
+    def test_time_budget(self, rng):
+        images = list(range(32))
+        rng.shuffle(images)
+        result = synthesize(
+            Permutation(images), SynthesisOptions(time_limit=0.05)
+        )
+        assert result.stats.elapsed_seconds < 5.0
+
+    def test_max_gates_rejects_long_solutions(self):
+        # Example 4 needs >= 5 gates; cap at 2 must fail.
+        result = synthesize(
+            Permutation([0, 1, 2, 4, 3, 5, 6, 7]), FAST, max_gates=2
+        )
+        assert not result.solved
+
+    def test_stop_at_first(self, fig1_spec):
+        eager = synthesize(fig1_spec, FAST, stop_at_first=True)
+        assert eager.solved
+        # May be worse than the best-known 3 gates, never better.
+        assert eager.gate_count >= 3
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("greedy_k", [1, 3, 5])
+    def test_greedy_solves_three_vars(self, rng, greedy_k):
+        for _ in range(10):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            result = synthesize(
+                spec,
+                FAST,
+                greedy_k=greedy_k,
+                restart_steps=2_000,
+            )
+            assert result.verify(spec), images
+
+    def test_restarts_counted(self, rng):
+        images = list(range(16))
+        rng.shuffle(images)
+        result = synthesize(
+            Permutation(images),
+            SynthesisOptions(
+                greedy_k=1, restart_steps=50, max_steps=2_000,
+                dedupe_states=True,
+            ),
+        )
+        # Either it solved quickly or it restarted at least once.
+        assert result.solved or result.stats.restarts >= 1
+
+    def test_greedy_options_preset(self, fig1_spec):
+        result = synthesize(fig1_spec, GREEDY_OPTIONS.with_(max_steps=20_000))
+        assert result.verify(fig1_spec)
+
+
+class TestSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(list(range(8))))
+    def test_every_result_verifies(self, images):
+        spec = Permutation(images)
+        result = synthesize(spec, FAST)
+        assert result.solved
+        assert result.verify(spec)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.permutations(list(range(16))))
+    def test_four_variables_verify_when_solved(self, images):
+        spec = Permutation(images)
+        result = synthesize(
+            spec,
+            SynthesisOptions(
+                greedy_k=3, restart_steps=1_000, max_steps=8_000,
+                dedupe_states=True, max_gates=40,
+            ),
+        )
+        if result.solved:
+            assert result.verify(spec)
+
+    def test_stats_populated(self, fig1_spec):
+        result = synthesize(fig1_spec, FAST)
+        stats = result.stats
+        assert stats.nodes_created > 0
+        assert stats.nodes_expanded > 0
+        assert stats.initial_terms == 8
+        assert stats.solutions_found >= 1
+        assert stats.elapsed_seconds >= 0
+        assert isinstance(stats.as_dict(), dict)
+
+    def test_trace_recording(self, fig1_spec):
+        result = synthesize(fig1_spec, FAST, record_trace=True)
+        assert result.trace is not None
+        kinds = {event.kind for event in result.trace.events}
+        assert "pop" in kinds and "create" in kinds and "solution" in kinds
+        assert result.trace.render()

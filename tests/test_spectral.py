@@ -1,0 +1,65 @@
+"""Tests for the Rademacher-Walsh spectral utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.permutation import Permutation
+from repro.functions.spectral import (
+    permutation_spectra,
+    rademacher_walsh_spectrum,
+    spectral_complexity,
+    walsh_hadamard_transform,
+)
+
+truth_vectors = st.lists(st.integers(0, 1), min_size=8, max_size=8)
+
+
+class TestWalshHadamard:
+    def test_constant_zero_function(self):
+        # f = 0 -> signed vector all +1 -> spectrum concentrated at 0.
+        assert rademacher_walsh_spectrum([0, 0, 0, 0]) == [4, 0, 0, 0]
+
+    def test_single_literal(self):
+        # f = x0: pairs with the x0 parity coefficient.
+        spectrum = rademacher_walsh_spectrum([0, 1, 0, 1])
+        assert spectrum == [0, 4, 0, 0]
+
+    def test_xor_concentrates_on_full_mask(self):
+        spectrum = rademacher_walsh_spectrum([0, 1, 1, 0])
+        assert spectrum == [0, 0, 0, 4]
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            walsh_hadamard_transform([1, 2, 3])
+
+    @given(truth_vectors)
+    def test_parseval(self, values):
+        spectrum = rademacher_walsh_spectrum(values)
+        assert sum(c * c for c in spectrum) == 8 * 8
+
+    @given(truth_vectors)
+    def test_transform_involution_scaled(self, values):
+        signed = [1 - 2 * v for v in values]
+        double = walsh_hadamard_transform(walsh_hadamard_transform(signed))
+        assert double == [8 * v for v in signed]
+
+
+class TestComplexity:
+    def test_literal_is_simplest_nonconstant(self):
+        literal = spectral_complexity([0, 1, 0, 1])
+        xor = spectral_complexity([0, 1, 1, 0])
+        assert literal < xor
+
+    def test_identity_outputs_minimal(self):
+        spectra = permutation_spectra(Permutation.identity(2))
+        for index, spectrum in enumerate(spectra):
+            # Output i pairs exactly with variable i.
+            expected = [0] * 4
+            expected[1 << index] = 4
+            assert spectrum == expected
+
+    def test_permutation_spectra_shape(self, fig1_spec):
+        spectra = permutation_spectra(fig1_spec)
+        assert len(spectra) == 3
+        assert all(len(s) == 8 for s in spectra)

@@ -1,0 +1,100 @@
+"""Tests for the Miller-Dueck spectral synthesis baseline [18]."""
+
+import random
+
+import pytest
+
+from repro.baselines.spectral_synthesis import (
+    complexity_of,
+    spectral_synthesize,
+)
+from repro.functions.permutation import Permutation
+
+
+class TestComplexityMeasure:
+    def test_identity_is_zero(self):
+        assert complexity_of(list(range(8)), 3) == 0
+
+    def test_non_identity_positive(self):
+        assert complexity_of([1, 0, 2, 3], 2) > 0
+
+    def test_polarity_visible(self):
+        """A NOT away from identity scores lower than random chaos."""
+        near = complexity_of([1, 0, 3, 2], 2)      # NOT on line 0
+        far = complexity_of([2, 1, 3, 0], 2)
+        assert 0 < near < far
+
+    def test_measure_decreases_along_a_fix(self):
+        # {1,0,3,2} fixed by one NOT: applying it zeroes the measure.
+        images = [1, 0, 3, 2]
+        fixed = [word ^ 1 for word in images]
+        assert complexity_of(fixed, 2) == 0
+
+
+class TestSpectralSynthesis:
+    def test_identity(self):
+        outcome = spectral_synthesize(Permutation.identity(3))
+        assert outcome.solved
+        assert outcome.circuit.gate_count() == 0
+
+    def test_single_not(self):
+        spec = Permutation([1, 0, 3, 2])
+        outcome = spectral_synthesize(spec)
+        assert outcome.solved
+        assert outcome.circuit.gate_count() == 1
+        assert outcome.circuit.implements(spec)
+
+    def test_fig1_example(self, fig1_spec):
+        outcome = spectral_synthesize(fig1_spec)
+        assert outcome.solved
+        assert outcome.circuit.implements(fig1_spec)
+        assert outcome.circuit.gate_count() <= 8
+
+    def test_strict_mode_declares_errors(self, rng):
+        """[18] without plateau slack gets stuck often — the 'error is
+        declared' behaviour the paper describes."""
+        errors = 0
+        for _ in range(15):
+            images = list(range(8))
+            rng.shuffle(images)
+            outcome = spectral_synthesize(
+                Permutation(images), plateau_tolerance=0
+            )
+            if outcome.error:
+                errors += 1
+            elif outcome.solved:
+                assert outcome.circuit.implements(Permutation(images))
+        assert errors >= 5
+
+    def test_plateau_tolerance_raises_success_rate(self):
+        rng_a = random.Random(31)
+        rng_b = random.Random(31)
+
+        def rate(tolerance, rng):
+            solved = 0
+            for _ in range(12):
+                images = list(range(8))
+                rng.shuffle(images)
+                outcome = spectral_synthesize(
+                    Permutation(images), plateau_tolerance=tolerance
+                )
+                if outcome.solved:
+                    solved += 1
+            return solved
+
+        assert rate(4, rng_a) >= rate(0, rng_b)
+
+    def test_all_results_verify(self, rng):
+        for _ in range(10):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            outcome = spectral_synthesize(spec)
+            if outcome.solved:
+                assert outcome.circuit.implements(spec)
+
+    def test_gate_budget_respected(self, rng):
+        images = list(range(16))
+        rng.shuffle(images)
+        outcome = spectral_synthesize(Permutation(images), max_gates=3)
+        assert outcome.steps <= 3

@@ -1,0 +1,93 @@
+"""Tests for candidate substitution enumeration (Sec. IV-A/IV-D)."""
+
+from repro.pprm.parser import parse_system
+from repro.synth.options import SynthesisOptions
+from repro.synth.substitutions import enumerate_substitutions
+
+
+def fig1_system():
+    return parse_system(
+        """
+        a_out = a + 1
+        b_out = b + c + ac
+        c_out = b + ab + ac
+        """
+    )
+
+
+def by_target(candidates):
+    table = {}
+    for candidate in candidates:
+        table.setdefault(candidate.target, set()).add(candidate.factor)
+    return table
+
+
+class TestBasicEnumeration:
+    """Sec. IV-A: factors from v_out,i's own expansion, v_i present."""
+
+    OPTIONS = SynthesisOptions(
+        extended_substitutions=False, complement_substitutions=False
+    )
+
+    def test_fig1_first_level(self):
+        """The paper's Fig. 5 first level: a=a+1, b=b+c, b=b+ac."""
+        table = by_target(enumerate_substitutions(fig1_system(), self.OPTIONS))
+        assert table == {
+            0: {0},            # a := a + 1
+            1: {0b100, 0b101}, # b := b + c, b := b + ac
+        }
+
+    def test_factor_never_contains_target(self):
+        candidates = enumerate_substitutions(fig1_system(), SynthesisOptions())
+        for candidate in candidates:
+            assert not candidate.factor & (1 << candidate.target)
+
+    def test_solved_output_not_targeted(self):
+        system = parse_system("a_out = a\nb_out = b + a")
+        table = by_target(enumerate_substitutions(system, self.OPTIONS))
+        assert 0 not in table
+        assert table[1] == {0b01}
+
+
+class TestExtendedEnumeration:
+    """Sec. IV-D: Fig. 6 adds c=c+b, c=c+ab, b=b+1, c=c+1."""
+
+    def test_fig6_first_level(self):
+        table = by_target(
+            enumerate_substitutions(fig1_system(), SynthesisOptions())
+        )
+        assert table == {
+            0: {0},
+            1: {0b100, 0b101, 0},
+            2: {0b010, 0b011, 0},
+        }
+
+    def test_complement_only_added_once(self):
+        candidates = enumerate_substitutions(fig1_system(), SynthesisOptions())
+        complements = [
+            c for c in candidates if c.target == 0 and c.factor == 0
+        ]
+        assert len(complements) == 1
+
+    def test_growth_flags(self):
+        """NOT and CNOT factors are growth-exempt by default; wider
+        factors are not."""
+        candidates = enumerate_substitutions(fig1_system(), SynthesisOptions())
+        for candidate in candidates:
+            expected = bin(candidate.factor).count("1") <= 1
+            assert candidate.allow_growth == expected
+
+    def test_growth_exemption_configurable(self):
+        options = SynthesisOptions(growth_exempt_literals=-1)
+        candidates = enumerate_substitutions(fig1_system(), options)
+        assert all(not c.allow_growth for c in candidates)
+
+    def test_growth_exemption_paper_literal(self):
+        options = SynthesisOptions(growth_exempt_literals=0)
+        for candidate in enumerate_substitutions(fig1_system(), options):
+            assert candidate.allow_growth == (candidate.factor == 0)
+
+    def test_identity_has_no_candidates_except_complements(self):
+        system = parse_system("a_out = a\nb_out = b")
+        candidates = enumerate_substitutions(system, SynthesisOptions())
+        assert candidates == []

@@ -1,0 +1,89 @@
+"""Tests for symbolic PPRM construction of wide benchmarks."""
+
+import pytest
+
+from repro.benchlib.generators import controlled_shifter, graycode
+from repro.benchlib.specs import benchmark
+from repro.benchlib.symbolic import (
+    controlled_shifter_system,
+    graycode_system,
+    system_agrees_with_circuit,
+)
+from repro.circuits.circuit import Circuit
+from repro.gates.toffoli import ToffoliGate
+
+
+class TestGraycodeSystem:
+    @pytest.mark.parametrize("num_vars", [1, 2, 3, 6])
+    def test_matches_numeric(self, num_vars):
+        symbolic = graycode_system(num_vars)
+        numeric = graycode(num_vars).to_pprm()
+        assert symbolic == numeric
+
+    def test_term_count_linear(self):
+        system = graycode_system(20)
+        assert system.term_count() == 2 * 20 - 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            graycode_system(0)
+
+
+class TestShifterSystem:
+    @pytest.mark.parametrize("data_vars", [1, 2, 3, 4, 5])
+    def test_matches_numeric(self, data_vars):
+        symbolic = controlled_shifter_system(data_vars)
+        numeric = controlled_shifter(data_vars).to_pprm()
+        assert symbolic == numeric
+
+    def test_shift28_is_compact(self):
+        system = controlled_shifter_system(28)
+        assert system.num_vars == 30
+        # ~4 terms per data output.
+        assert system.term_count() < 4 * 30
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            controlled_shifter_system(0)
+
+
+class TestAgreementCheck:
+    def test_exhaustive_small(self):
+        system = graycode_system(3)
+        gates = [ToffoliGate(0b010, 0), ToffoliGate(0b100, 1)]
+        circuit = Circuit(3, gates)
+        assert system_agrees_with_circuit(system, circuit)
+
+    def test_detects_mismatch(self):
+        system = graycode_system(3)
+        assert not system_agrees_with_circuit(system, Circuit.identity(3))
+
+    def test_width_mismatch(self):
+        assert not system_agrees_with_circuit(
+            graycode_system(3), Circuit.identity(4)
+        )
+
+    def test_sampled_wide(self):
+        # 20 lines: exhaustive impossible; sampled check must accept the
+        # true circuit and reject a wrong one.
+        system = graycode_system(20)
+        gates = [ToffoliGate(1 << (i + 1), i) for i in range(19)]
+        good = Circuit(20, gates)
+        assert system_agrees_with_circuit(system, good, samples=500)
+        assert not system_agrees_with_circuit(
+            system, Circuit.identity(20), samples=500
+        )
+
+
+class TestSpecIntegration:
+    def test_shift28_spec_uses_symbolic_system(self):
+        spec = benchmark("shift28")
+        assert spec.permutation is None
+        assert spec.num_lines == 30
+        assert spec.pprm().num_vars == 30
+
+    def test_graycode20_verify_path(self):
+        spec = benchmark("graycode20")
+        gates = [ToffoliGate(1 << (i + 1), i) for i in range(19)]
+        assert spec.verify(Circuit(20, gates))
+        assert not spec.verify(Circuit.identity(20))

@@ -1,0 +1,114 @@
+"""Tests for repro.pprm.system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pprm.parser import parse_system
+from repro.pprm.system import PPRMSystem
+
+
+def permutations_of_8():
+    return st.permutations(list(range(8)))
+
+
+class TestConstruction:
+    def test_identity(self):
+        system = PPRMSystem.identity(3)
+        assert system.is_identity()
+        assert system.term_count() == 3
+
+    def test_from_permutation_paper_eq3(self, fig1_spec):
+        # Equation (3): a_o = a+1, b_o = b+c+ac, c_o = b+ab+ac.
+        system = PPRMSystem.from_permutation(list(fig1_spec.images))
+        expected = parse_system(
+            """
+            a_out = a + 1
+            b_out = b + c + ac
+            c_out = b + ab + ac
+            """
+        )
+        assert system == expected
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            PPRMSystem.from_permutation([0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PPRMSystem([])
+
+
+class TestRoundTrip:
+    @given(permutations_of_8())
+    def test_images_round_trip(self, images):
+        system = PPRMSystem.from_permutation(images)
+        assert system.to_images() == list(images)
+
+    @given(permutations_of_8(), st.integers(0, 7))
+    def test_evaluate_matches_images(self, images, assignment):
+        system = PPRMSystem.from_permutation(images)
+        assert system.evaluate(assignment) == images[assignment]
+
+
+class TestSubstitution:
+    def test_substitute_all_outputs(self, fig1_spec):
+        system = fig1_spec.to_pprm()
+        after = system.substitute(0, 0)  # a := a + 1
+        expected = parse_system(
+            """
+            a_out = a
+            b_out = b + ac
+            c_out = c + ab + ac
+            """
+        )
+        assert after == expected
+
+    def test_substitution_sequence_reaches_identity(self, fig1_spec):
+        system = fig1_spec.to_pprm()
+        system = system.substitute(0, 0)        # a := a + 1
+        system = system.substitute(1, 0b101)    # b := b + ac
+        system = system.substitute(2, 0b011)    # c := c + ab
+        assert system.is_identity()
+
+    @given(permutations_of_8(), st.integers(0, 2), st.integers(0, 7))
+    def test_substitution_equals_gate_composition(
+        self, images, target, factor
+    ):
+        factor &= ~(1 << target)
+        system = PPRMSystem.from_permutation(images)
+        substituted = system.substitute(target, factor)
+
+        def gate(x):
+            if x & factor == factor:
+                return x ^ (1 << target)
+            return x
+
+        assert substituted.to_images() == [
+            images[gate(x)] for x in range(8)
+        ]
+
+
+class TestQueries:
+    def test_solved_outputs(self):
+        system = parse_system(
+            """
+            a_out = a
+            b_out = b + a
+            c_out = c
+            """
+        )
+        assert system.solved_outputs() == 2
+        assert not system.is_identity()
+
+    def test_term_count(self, fig1_spec):
+        assert fig1_spec.to_pprm().term_count() == 8
+
+    def test_str_contains_all_outputs(self, fig1_spec):
+        text = str(fig1_spec.to_pprm())
+        assert "a_out" in text and "c_out" in text
+
+    def test_hashable(self, fig1_spec):
+        s1 = fig1_spec.to_pprm()
+        s2 = fig1_spec.to_pprm()
+        assert len({s1, s2}) == 1

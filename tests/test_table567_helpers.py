@@ -1,0 +1,33 @@
+"""Unit tests for the scalability driver's helper functions."""
+
+from repro.circuits.circuit import Circuit
+from repro.experiments.table567 import _same_function
+from repro.gates.toffoli import ToffoliGate
+
+
+class TestSameFunction:
+    def test_identical_small(self):
+        circuit = Circuit.parse(3, "TOF1(a) TOF2(a, b)")
+        assert _same_function(circuit, circuit)
+
+    def test_reordered_commuting_gates(self):
+        a = Circuit.parse(3, "TOF1(c) TOF2(a, b)")
+        b = Circuit.parse(3, "TOF2(a, b) TOF1(c)")
+        assert _same_function(a, b)
+
+    def test_different_small(self):
+        a = Circuit.parse(2, "TOF1(a)")
+        b = Circuit.parse(2, "TOF1(b)")
+        assert not _same_function(a, b)
+
+    def test_width_mismatch(self):
+        assert not _same_function(Circuit.identity(2), Circuit.identity(3))
+
+    def test_wide_sampled_path(self):
+        chain = [ToffoliGate(1 << (i + 1), i) for i in range(16)]
+        wide = Circuit(17, chain)
+        assert _same_function(wide, wide, max_exhaustive=12, samples=300)
+        tampered = wide.appended(ToffoliGate(0, 0))
+        assert not _same_function(
+            wide, tampered, max_exhaustive=12, samples=300
+        )

@@ -1,0 +1,115 @@
+"""Tests for template/peephole post-processing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.random_circuits import random_circuit
+from repro.gates.toffoli import ToffoliGate
+from repro.postprocess.templates import (
+    cancel_duplicates,
+    peephole_optimize,
+    simplify,
+)
+
+
+def _random_circuit_strategy(num_lines=4, max_gates=10):
+    def build(seeds):
+        gates = []
+        for target, controls in seeds:
+            controls &= ((1 << num_lines) - 1) & ~(1 << target)
+            gates.append(ToffoliGate(controls, target))
+        return Circuit(num_lines, gates)
+
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(
+                st.integers(0, num_lines - 1), st.integers(0, 15)
+            ),
+            max_size=max_gates,
+        ),
+    )
+
+
+class TestCancelDuplicates:
+    def test_adjacent_pair_cancels(self):
+        circuit = Circuit.parse(3, "TOF3(a, b, c) TOF3(a, b, c)")
+        assert cancel_duplicates(circuit).gate_count() == 0
+
+    def test_commuting_separation_cancels(self):
+        # The middle CNOT shares only controls with the pair.
+        circuit = Circuit.parse(3, "TOF2(a, c) TOF2(a, b) TOF2(a, c)")
+        assert cancel_duplicates(circuit).gate_count() == 1
+
+    def test_blocking_gate_prevents_cancellation(self):
+        # NOT(a) rewrites the control of the pair; no cancellation.
+        circuit = Circuit.parse(2, "TOF2(a, b) TOF1(a) TOF2(a, b)")
+        assert cancel_duplicates(circuit).gate_count() == 3
+
+    def test_cascaded_cancellations(self):
+        circuit = Circuit.parse(
+            2, "TOF1(a) TOF2(a, b) TOF2(a, b) TOF1(a)"
+        )
+        assert cancel_duplicates(circuit).gate_count() == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(_random_circuit_strategy())
+    def test_preserves_function(self, circuit):
+        reduced = cancel_duplicates(circuit)
+        assert reduced.gate_count() <= circuit.gate_count()
+        assert reduced.to_permutation() == circuit.to_permutation()
+
+
+class TestPeephole:
+    def test_rewrites_suboptimal_window(self):
+        # NOT NOT CNOT -> CNOT.
+        circuit = Circuit.parse(2, "TOF1(a) TOF1(a) TOF2(a, b)")
+        assert peephole_optimize(circuit).gate_count() == 1
+
+    def test_leaves_optimal_swap_alone(self):
+        circuit = Circuit.parse(2, "TOF2(a, b) TOF2(b, a) TOF2(a, b)")
+        assert peephole_optimize(circuit).gate_count() == 3
+
+    def test_narrow_window_in_wide_circuit(self):
+        circuit = Circuit.parse(
+            5, "TOF1(e) TOF2(a, b) TOF2(a, b) TOF1(e)"
+        )
+        assert simplify(circuit).gate_count() == 0
+
+    def test_wide_windows_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            peephole_optimize(Circuit.identity(4), max_window_lines=4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_random_circuit_strategy())
+    def test_preserves_function(self, circuit):
+        optimized = peephole_optimize(circuit)
+        assert optimized.gate_count() <= circuit.gate_count()
+        assert optimized.to_permutation() == circuit.to_permutation()
+
+
+class TestSimplify:
+    def test_identity_stays_empty(self):
+        assert simplify(Circuit.identity(3)).gate_count() == 0
+
+    def test_soundness_on_random_circuits(self, rng):
+        for _ in range(25):
+            circuit = random_circuit(4, rng.randint(1, 12), rng)
+            simplified = simplify(circuit)
+            assert simplified.to_permutation() == circuit.to_permutation()
+            assert simplified.gate_count() <= circuit.gate_count()
+
+    def test_reduces_padded_synthesis_output(self, fig1_spec):
+        """The paper's 6.10 -> 6.05 template effect: padding a minimal
+        circuit with junk must be fully undone."""
+        base = Circuit.parse(3, "TOF1(a) TOF3(a, c, b) TOF3(a, b, c)")
+        padded = Circuit(
+            3,
+            list(base.gates)
+            + [ToffoliGate(0, 2), ToffoliGate(0, 2)],
+        )
+        assert simplify(padded) == simplify(base)
+        assert simplify(padded).gate_count() == 3

@@ -1,0 +1,113 @@
+"""Tests for repro.gates.toffoli."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gates.toffoli import ToffoliGate, cnot, not_gate, toffoli
+
+
+class TestConstruction:
+    def test_not_gate(self):
+        gate = not_gate(2)
+        assert gate.is_not()
+        assert gate.size == 1
+        assert str(gate) == "TOF1(c)"
+
+    def test_cnot(self):
+        gate = cnot(0, 1)
+        assert gate.is_cnot()
+        assert gate.size == 2
+        assert str(gate) == "TOF2(a, b)"
+
+    def test_toffoli_from_indices(self):
+        gate = toffoli([0, 2], 1)
+        assert gate.size == 3
+        assert gate.controls == 0b101
+        assert gate.target == 1
+
+    def test_from_names_paper_notation(self):
+        gate = ToffoliGate.from_names("c", "a", "b")
+        assert gate.controls == 0b101
+        assert gate.target == 1
+        assert str(gate) == "TOF3(a, c, b)"
+
+    def test_target_in_controls_rejected(self):
+        with pytest.raises(ValueError):
+            ToffoliGate(0b010, 1)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            ToffoliGate(0, -1)
+
+    def test_from_names_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ToffoliGate.from_names()
+
+
+class TestSemantics:
+    def test_equation_1(self):
+        """Equation (1): the target flips iff all controls are one."""
+        gate = ToffoliGate(0b011, 2)
+        for assignment in range(8):
+            result = gate.apply(assignment)
+            if assignment & 0b011 == 0b011:
+                assert result == assignment ^ 0b100
+            else:
+                assert result == assignment
+
+    def test_not_always_flips(self):
+        gate = not_gate(0)
+        assert gate.apply(0) == 1
+        assert gate.apply(1) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_involution(self, assignment, target):
+        controls = 0b10101010 & ~(1 << target)
+        gate = ToffoliGate(controls, target)
+        assert gate.apply(gate.apply(assignment)) == assignment
+
+    def test_inverse_is_self(self):
+        gate = toffoli([0], 1)
+        assert gate.inverse() is gate
+
+
+class TestStructure:
+    def test_lines(self):
+        gate = ToffoliGate(0b101, 1)
+        assert gate.lines == 0b111
+
+    def test_min_lines(self):
+        assert ToffoliGate(0b100, 0).min_lines() == 3
+        assert not_gate(4).min_lines() == 5
+
+    def test_commutes_disjoint(self):
+        assert cnot(0, 1).commutes_with(cnot(2, 3))
+
+    def test_commutes_same_target(self):
+        assert cnot(0, 2).commutes_with(cnot(1, 2))
+
+    def test_not_commutes_target_into_control(self):
+        assert not cnot(0, 1).commutes_with(cnot(1, 2))
+
+    def test_shared_control_commutes(self):
+        assert cnot(0, 1).commutes_with(cnot(0, 2))
+
+    def test_commutation_is_semantic(self, rng):
+        """When commutes_with says yes, the two orders agree."""
+        for _ in range(200):
+            g1 = ToffoliGate(rng.randrange(16) & ~(1 << 0), 0)
+            t2 = rng.randrange(4)
+            g2 = ToffoliGate(rng.randrange(16) & ~(1 << t2), t2)
+            if g1.commutes_with(g2):
+                for x in range(16):
+                    assert g1.apply(g2.apply(x)) == g2.apply(g1.apply(x))
+
+    def test_factor_string(self):
+        assert ToffoliGate(0b101, 1).factor_string() == "b = b + ac"
+        assert not_gate(0).factor_string() == "a = a + 1"
+
+    def test_equality_and_hash(self):
+        assert ToffoliGate(0b1, 1) == cnot(0, 1)
+        assert len({cnot(0, 1), cnot(0, 1)}) == 1
+        assert cnot(0, 1) != cnot(1, 0)

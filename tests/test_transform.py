@@ -1,0 +1,68 @@
+"""Tests for repro.pprm.transform (the binary Mobius transform)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pprm.expansion import Expansion
+from repro.pprm.transform import (
+    expansion_to_truth_vector,
+    inverse_mobius_transform,
+    mobius_transform,
+    truth_vector_to_expansion,
+)
+
+truth_vectors = st.lists(
+    st.integers(0, 1), min_size=8, max_size=8
+)
+
+
+class TestMobius:
+    def test_constant_one(self):
+        assert mobius_transform([1, 1, 1, 1]) == [1, 0, 0, 0]
+
+    def test_single_variable(self):
+        # f = x0 over two variables: truth vector 0101.
+        assert mobius_transform([0, 1, 0, 1]) == [0, 1, 0, 0]
+
+    def test_and_function(self):
+        # f = x0 x1: vector 0001 -> only coefficient 0b11.
+        assert mobius_transform([0, 0, 0, 1]) == [0, 0, 0, 1]
+
+    def test_xor_function(self):
+        assert mobius_transform([0, 1, 1, 0]) == [0, 1, 1, 0]
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            mobius_transform([0, 1, 1])
+
+    @given(truth_vectors)
+    def test_involution(self, values):
+        assert inverse_mobius_transform(mobius_transform(values)) == values
+
+    @given(truth_vectors)
+    def test_expansion_round_trip(self, values):
+        expansion = truth_vector_to_expansion(values)
+        assert expansion_to_truth_vector(expansion, 3) == values
+
+    @given(truth_vectors)
+    def test_expansion_evaluates_like_vector(self, values):
+        expansion = truth_vector_to_expansion(values)
+        for assignment, value in enumerate(values):
+            assert expansion.evaluate(assignment) == value
+
+
+class TestExpansionToVector:
+    def test_rejects_oversized_terms(self):
+        with pytest.raises(ValueError):
+            expansion_to_truth_vector(Expansion([0b1000]), 2)
+
+    def test_zero_expansion(self):
+        assert expansion_to_truth_vector(Expansion.zero(), 2) == [0, 0, 0, 0]
+
+    def test_paper_eq3_b_output(self, fig1_spec):
+        # b_o = b + c + ac must tabulate to the b_o column of Fig. 1.
+        system = fig1_spec.to_pprm()
+        vector = expansion_to_truth_vector(system.output(1), 3)
+        expected = [(fig1_spec(m) >> 1) & 1 for m in range(8)]
+        assert vector == expected

@@ -1,0 +1,105 @@
+"""Tests for the transformation-based baseline (Miller et al. [7])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.transformation import (
+    basic_transformation,
+    bidirectional_transformation,
+    transformation_synthesize,
+)
+from repro.functions.permutation import Permutation
+
+perm8 = st.permutations(list(range(8)))
+
+
+class TestBasic:
+    def test_identity_is_empty(self):
+        circuit = basic_transformation(Permutation.identity(3))
+        assert circuit.gate_count() == 0
+
+    def test_not_function(self):
+        circuit = basic_transformation(Permutation([1, 0]))
+        assert circuit.gate_count() == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(perm8)
+    def test_always_correct(self, images):
+        spec = Permutation(images)
+        assert basic_transformation(spec).implements(spec)
+
+    @given(st.permutations(list(range(16))))
+    @settings(max_examples=15, deadline=None)
+    def test_four_variables(self, images):
+        spec = Permutation(images)
+        assert basic_transformation(spec).implements(spec)
+
+    def test_example_from_dac03(self):
+        """[7]'s worked example {1,0,3,2,5,7,4,6} (= paper Example 1)."""
+        spec = Permutation([1, 0, 3, 2, 5, 7, 4, 6])
+        circuit = basic_transformation(spec)
+        assert circuit.implements(spec)
+
+
+class TestBidirectional:
+    @settings(max_examples=60, deadline=None)
+    @given(perm8)
+    def test_always_correct(self, images):
+        spec = Permutation(images)
+        assert bidirectional_transformation(spec).implements(spec)
+
+    def test_never_worse_on_average(self, rng):
+        total_basic = 0
+        total_bidir = 0
+        for _ in range(100):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            total_basic += basic_transformation(spec).gate_count()
+            total_bidir += bidirectional_transformation(spec).gate_count()
+        assert total_bidir <= total_basic
+
+    def test_input_side_repair_used(self):
+        """A spec cheaper to fix from the input side must still verify."""
+        # f(1) = 4 (distance 2) but f^-1(1) = 2 would be distance 1:
+        spec = Permutation([0, 4, 1, 3, 2, 5, 6, 7])
+        circuit = bidirectional_transformation(spec)
+        assert circuit.implements(spec)
+
+
+class TestOutputPermutations:
+    @settings(max_examples=25, deadline=None)
+    @given(perm8)
+    def test_wire_relabeling_correct(self, images):
+        spec = Permutation(images)
+        circuit = transformation_synthesize(
+            spec, try_output_permutations=True
+        )
+        assert circuit.implements(spec)
+
+    def test_improves_wire_swap(self):
+        """A pure wire swap is free under relabeling plus 3 CNOTs."""
+        spec = Permutation([0, 2, 1, 3, 4, 6, 5, 7])
+        plain = bidirectional_transformation(spec)
+        relabeled = transformation_synthesize(
+            spec, try_output_permutations=True
+        )
+        assert relabeled.implements(spec)
+        assert relabeled.gate_count() <= plain.gate_count()
+
+    def test_table1_average_in_plausible_range(self, rng):
+        """Sampled average should sit near the paper's Miller column
+        (6.18 with NCTS + templates; Toffoli-only lands slightly
+        above)."""
+        total = 0
+        count = 150
+        for _ in range(count):
+            images = list(range(8))
+            rng.shuffle(images)
+            spec = Permutation(images)
+            total += transformation_synthesize(
+                spec, try_output_permutations=True
+            ).gate_count()
+        average = total / count
+        assert 5.5 <= average <= 8.5

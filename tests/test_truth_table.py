@@ -1,0 +1,70 @@
+"""Tests for repro.functions.truth_table."""
+
+import pytest
+
+from repro.functions.truth_table import TruthTable
+
+
+class TestConstruction:
+    def test_from_function(self):
+        table = TruthTable.from_function(2, 1, lambda m: m & 1)
+        assert table.rows == (0, 1, 0, 1)
+
+    def test_single_output(self):
+        table = TruthTable.single_output([1, 0, 0, 1])
+        assert table.num_inputs == 2
+        assert table.num_outputs == 1
+
+    def test_row_count_checked(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 1, [0, 1, 0])
+
+    def test_word_range_checked(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 1, [0, 2])
+
+    def test_dimensions_positive(self):
+        with pytest.raises(ValueError):
+            TruthTable(0, 1, [0])
+
+    def test_bad_vector_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.single_output([0, 1, 1])
+
+
+class TestQueries:
+    def test_call(self):
+        table = TruthTable(2, 2, [0, 1, 2, 3])
+        assert table(2) == 2
+
+    def test_output_vector(self):
+        table = TruthTable(2, 2, [0b00, 0b01, 0b10, 0b11])
+        assert table.output_vector(0) == [0, 1, 0, 1]
+        assert table.output_vector(1) == [0, 0, 1, 1]
+
+    def test_output_vector_range(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 1, [0, 1]).output_vector(1)
+
+    def test_reversibility_check(self):
+        assert TruthTable(2, 2, [0, 1, 2, 3]).is_reversible()
+        assert not TruthTable(2, 2, [0, 0, 2, 3]).is_reversible()
+        assert not TruthTable(2, 1, [0, 1, 1, 0]).is_reversible()
+
+    def test_multiplicity_full_adder(self):
+        def row(m):
+            a, b, c = m & 1, m >> 1 & 1, m >> 2 & 1
+            carry = 1 if a + b + c >= 2 else 0
+            total = (a + b + c) & 1
+            return (carry << 2) | (total << 1) | (a ^ b)
+
+        table = TruthTable.from_function(3, 3, row)
+        # Fig. 2(a): two output words each appear twice.
+        assert table.max_output_multiplicity() == 2
+
+    def test_equality_and_hash(self):
+        a = TruthTable(1, 1, [0, 1])
+        b = TruthTable(1, 1, [0, 1])
+        assert a == b
+        assert len({a, b}) == 1
+        assert a != TruthTable(1, 1, [1, 0])

@@ -1,0 +1,139 @@
+"""Tests for timers, table rendering, and term utilities."""
+
+import pytest
+
+from repro.pprm.term import (
+    CONSTANT_ONE,
+    contains_variable,
+    evaluate_term,
+    format_term,
+    literal_count,
+    term_product,
+    term_sort_key,
+    variable_index,
+    variable_name,
+    without_variable,
+)
+from repro.utils.tables import format_histogram, format_table
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class TestTerm:
+    def test_constant(self):
+        assert format_term(CONSTANT_ONE) == "1"
+        assert literal_count(CONSTANT_ONE) == 0
+        assert evaluate_term(CONSTANT_ONE, 0) == 1
+
+    def test_format(self):
+        assert format_term(0b101) == "ac"
+        assert format_term(0b10) == "b"
+
+    def test_names_roundtrip(self):
+        for index in (0, 3, 25, 26, 100):
+            assert variable_index(variable_name(index)) == index
+
+    def test_variable_name_invalid(self):
+        with pytest.raises(ValueError):
+            variable_name(-1)
+        with pytest.raises(ValueError):
+            variable_index("$$")
+
+    def test_contains_and_remove(self):
+        assert contains_variable(0b101, 2)
+        assert not contains_variable(0b101, 1)
+        assert without_variable(0b101, 2) == 0b001
+        assert without_variable(0b101, 1) == 0b101
+
+    def test_product_idempotent(self):
+        assert term_product(0b101, 0b110) == 0b111
+        assert term_product(0b1, 0b1) == 0b1
+
+    def test_evaluate(self):
+        assert evaluate_term(0b011, 0b111) == 1
+        assert evaluate_term(0b011, 0b101) == 0
+
+    def test_sort_key_orders_by_degree(self):
+        terms = [0b111, 0b1, CONSTANT_ONE, 0b011]
+        assert sorted(terms, key=term_sort_key) == [0, 0b1, 0b011, 0b111]
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.is_expired()
+        assert deadline.remaining() == float("inf")
+
+    def test_expiry_with_fake_clock(self):
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        assert not deadline.is_expired()
+        now[0] = 5.1
+        assert deadline.is_expired()
+        assert deadline.remaining() < 0
+
+    def test_restart(self):
+        now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: now[0])
+        now[0] = 2.0
+        deadline.restart()
+        assert not deadline.is_expired()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1)
+
+    def test_elapsed_monotone(self):
+        now = [0.0]
+        deadline = Deadline(10, clock=lambda: now[0])
+        now[0] = 3.0
+        assert deadline.elapsed() == 3.0
+
+    def test_stopwatch(self):
+        now = [1.0]
+        watch = Stopwatch(clock=lambda: now[0])
+        now[0] = 4.0
+        assert watch.elapsed() == 3.0
+        watch.restart()
+        assert watch.elapsed() == 0.0
+
+
+class TestTables:
+    def test_basic_table(self):
+        text = format_table(["name", "count"], [("abc", 3), ("d", 10)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "abc" in lines[2]
+        assert lines[3].endswith("10")
+
+    def test_none_renders_dash(self):
+        text = format_table(["a"], [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(6.104,)])
+        assert "6.10" in text
+
+    def test_title(self):
+        text = format_table(["a"], [], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_histogram(self):
+        text = format_histogram({3: 5, 1: 2}, label="size")
+        lines = text.splitlines()
+        assert "1" in lines[2] and "3" in lines[3]
+
+    def test_right_aligned_first_column(self):
+        text = format_table(
+            ["n", "v"], [(1, 2), (100, 3)], align_first_left=False
+        )
+        rows = text.splitlines()[2:]
+        # Right-aligned: the single-digit row is padded on the left.
+        assert rows[0].startswith("  1")
+
+    def test_empty_table_renders_headers(self):
+        text = format_table(["alpha", "beta"], [])
+        assert "alpha" in text and "beta" in text
