@@ -4,6 +4,8 @@ Subcommands::
 
     rmrls synth --spec "1,0,7,2,3,4,5,6"        # synthesize a permutation
     rmrls synth --benchmark rd53 --draw         # synthesize a benchmark
+    rmrls synth --benchmark rd53 --json         # machine-readable report
+    rmrls profile --benchmark rd53              # phase-time breakdown
     rmrls benchmarks                            # list known benchmarks
     rmrls table1 --sample 100                   # reproduce Table I
     rmrls table2 --sample 20 / table3 --sample 10
@@ -11,11 +13,19 @@ Subcommands::
     rmrls scalability --max-gates 15 --samples 5
     rmrls examples                              # the 14 worked examples
     rmrls figures                               # regenerate Figs. 1-9
+
+Observability flags on ``synth`` (see docs/observability.md): ``--json``
+prints one JSON run report to stdout, ``--metrics PATH`` writes the same
+report to a file alongside human output, ``--trace-jsonl PATH`` streams
+every search event as JSON lines, and ``--progress-every N`` prints a
+steps/sec status line to stderr every N steps.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.benchlib.specs import all_benchmarks, benchmark
@@ -53,12 +63,30 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the duplicate-state table")
 
 
-def _cmd_synth(args) -> int:
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="print one machine-readable JSON run report "
+                             "to stdout (suppresses the human output)")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the JSON run report to PATH")
+    parser.add_argument("--trace-jsonl", metavar="PATH",
+                        help="stream one JSON object per search event "
+                             "to PATH")
+    parser.add_argument("--progress-every", type=int, metavar="N",
+                        default=None,
+                        help="print a progress line to stderr every N steps")
+
+
+def _resolve_spec(args):
+    """Turn ``--spec``/``--benchmark`` into (permutation, system, verify).
+
+    Returns ``None`` (after printing the usage error) when neither or
+    both were given.
+    """
     if bool(args.spec) == bool(args.benchmark):
         print("exactly one of --spec or --benchmark is required",
               file=sys.stderr)
-        return 2
-    permutation = None
+        return None
     if args.spec:
         images = [int(part) for part in args.spec.replace(",", " ").split()]
         permutation = Permutation(images)
@@ -69,35 +97,112 @@ def _cmd_synth(args) -> int:
         permutation = entry.permutation
         system = entry.pprm()
         verify = entry.verify
-    if args.bidirectional:
-        if permutation is None:
-            print("--bidirectional needs an invertible (tabulated) spec",
+    return permutation, system, verify
+
+
+def _attach_observers(args, options):
+    """Build observers from the observability flags.
+
+    Returns ``(options, registry, phases, jsonl_observer)`` where
+    ``options`` carries the observers and the rest are ``None`` unless
+    their flag was given (``registry`` and ``phases`` are created for
+    ``--json`` and ``--metrics``).
+    """
+    from repro.obs import (
+        JsonlTraceObserver,
+        MetricsObserver,
+        MetricsRegistry,
+        PhaseTimer,
+        ProgressObserver,
+    )
+
+    registry = None
+    phases = None
+    jsonl = None
+    observers = []
+    if args.json or args.metrics:
+        registry = MetricsRegistry()
+        phases = PhaseTimer()
+        observers.append(MetricsObserver(registry))
+    if args.trace_jsonl:
+        jsonl = JsonlTraceObserver.open(args.trace_jsonl)
+        observers.append(jsonl)
+    if args.progress_every:
+        observers.append(ProgressObserver(every=args.progress_every))
+    if observers or phases is not None:
+        options = options.with_(
+            observers=options.observers + tuple(observers),
+            phase_timer=phases if phases is not None else options.phase_timer,
+        )
+    return options, registry, phases, jsonl
+
+
+def _cmd_synth(args) -> int:
+    resolved = _resolve_spec(args)
+    if resolved is None:
+        return 2
+    permutation, system, verify = resolved
+    if args.metrics:
+        directory = os.path.dirname(os.path.abspath(args.metrics))
+        if not os.path.isdir(directory):
+            print(f"--metrics: directory does not exist: {directory}",
                   file=sys.stderr)
             return 2
-        from repro.synth.bidirectional import synthesize_bidirectional
+    options, registry, phases, jsonl = _attach_observers(
+        args, _options_from_args(args)
+    )
+    try:
+        if args.bidirectional:
+            if permutation is None:
+                print("--bidirectional needs an invertible (tabulated) spec",
+                      file=sys.stderr)
+                return 2
+            from repro.synth.bidirectional import synthesize_bidirectional
 
-        both = synthesize_bidirectional(
-            permutation, _options_from_args(args)
-        )
-        result = both.forward if both.direction == "forward" else (
-            both.inverse if both.inverse is not None else both.forward
-        )
-        if both.solved:
-            print(f"direction: {both.direction}")
-            result = type(result)(
-                circuit=both.circuit,
-                stats=result.stats,
-                options=result.options,
-                num_vars=result.num_vars,
-                trace=result.trace,
+            both = synthesize_bidirectional(permutation, options)
+            result = both.forward if both.direction == "forward" else (
+                both.inverse if both.inverse is not None else both.forward
             )
-    else:
-        result = synthesize(system, _options_from_args(args))
+            if both.solved:
+                if not args.json:
+                    print(f"direction: {both.direction}")
+                result = type(result)(
+                    circuit=both.circuit,
+                    stats=result.stats,
+                    options=result.options,
+                    num_vars=result.num_vars,
+                    trace=result.trace,
+                )
+        else:
+            result = synthesize(system, options)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    report = None
+    if registry is not None:
+        from repro.obs import build_run_report
+
+        report = build_run_report(
+            result, registry=registry, phases=phases,
+            benchmark=args.benchmark,
+        )
+    if args.metrics:
+        from repro.obs import write_run_report
+
+        write_run_report(report, args.metrics)
+        if not args.json:
+            print(f"wrote run report to {args.metrics}", file=sys.stderr)
+    if result.circuit is not None:
+        assert verify(result.circuit), (
+            "synthesized circuit failed verification"
+        )
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if result.circuit is not None else 1
     if result.circuit is None:
         print(f"no circuit found within the budget "
               f"({result.stats.steps} steps)")
         return 1
-    assert verify(result.circuit), "synthesized circuit failed verification"
     print(f"gates: {result.circuit.gate_count()}   "
           f"quantum cost: {result.circuit.quantum_cost()}   "
           f"steps: {result.stats.steps}   "
@@ -107,6 +212,56 @@ def _cmd_synth(args) -> int:
         print()
         print(draw_circuit(result.circuit))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """Synthesize once with full instrumentation and print where the
+    time went (phase breakdown plus the search histograms)."""
+    from repro.obs import (
+        MetricsObserver,
+        MetricsRegistry,
+        PhaseTimer,
+        build_run_report,
+    )
+
+    resolved = _resolve_spec(args)
+    if resolved is None:
+        return 2
+    _permutation, system, verify = resolved
+    registry = MetricsRegistry()
+    phases = PhaseTimer(stride=args.sample_stride)
+    options = _options_from_args(args).with_(
+        observers=(MetricsObserver(registry),), phase_timer=phases
+    )
+    result = synthesize(system, options)
+    if result.circuit is not None:
+        assert verify(result.circuit), (
+            "synthesized circuit failed verification"
+        )
+    if args.json:
+        report = build_run_report(
+            result, registry=registry, phases=phases,
+            benchmark=args.benchmark,
+        )
+        print(json.dumps(report, indent=2))
+        return 0 if result.solved else 1
+    stats = result.stats
+    rate = stats.steps / stats.elapsed_seconds if stats.elapsed_seconds else 0
+    if result.solved:
+        print(f"solved: {result.gate_count} gates, quantum cost "
+              f"{result.circuit.quantum_cost()}")
+    else:
+        print("unsolved within the budget")
+    print(f"steps: {stats.steps}   nodes: {stats.nodes_created}   "
+          f"time: {stats.elapsed_seconds:.3f}s   ({rate:,.0f} steps/s)")
+    print()
+    print(phases.render())
+    for name in ("elim", "children_per_expansion", "queue_size"):
+        histogram = registry.get(name)
+        if histogram is not None and histogram.count:
+            print()
+            print(histogram.render())
+    return 0 if result.solved else 1
 
 
 def _cmd_embed(args) -> int:
@@ -300,7 +455,24 @@ def main(argv: list[str] | None = None) -> int:
     synth.add_argument("--bidirectional", action="store_true",
                        help="also try synthesizing the inverse function")
     _add_option_flags(synth)
+    _add_observability_flags(synth)
     synth.set_defaults(handler=_cmd_synth)
+
+    profile = commands.add_parser(
+        "profile",
+        help="synthesize once with instrumentation and print the "
+             "phase-time and histogram breakdown",
+    )
+    profile.add_argument("--spec", help="permutation, e.g. '1,0,7,2,3,4,5,6'")
+    profile.add_argument("--benchmark",
+                         help="named benchmark (see `benchmarks`)")
+    profile.add_argument("--sample-stride", type=int, default=16,
+                         help="time 1 of every N search steps (default 16)")
+    profile.add_argument("--json", action="store_true",
+                         help="print the full JSON run report instead of "
+                              "the text breakdown")
+    _add_option_flags(profile)
+    profile.set_defaults(handler=_cmd_profile)
 
     commands.add_parser(
         "benchmarks", help="list the benchmark suite"

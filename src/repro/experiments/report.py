@@ -9,6 +9,8 @@ from runs of these drivers; regenerate with a bigger
 
 from __future__ import annotations
 
+import json
+
 from repro.experiments import figures
 from repro.experiments.examples import render_examples, run_examples
 from repro.experiments.table1 import render_table1, run_table1
@@ -106,6 +108,15 @@ def generate_report(
                 "Sec. V-C examples", render_examples(run_examples())
             )
         )
+
+    note("Environment")
+    from repro.obs.report import environment_info
+
+    sections.append(
+        _section(
+            "Environment", json.dumps(environment_info(), indent=2)
+        )
+    )
 
     note("Figures")
     figure_text = "\n\n".join(

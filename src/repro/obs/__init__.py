@@ -1,0 +1,86 @@
+"""Structured observability for the RMRLS search.
+
+The search loop in :mod:`repro.synth.rmrls` reports every notable event
+(steps, expansions, child creation, pruning, solutions, restarts)
+through a single :class:`SearchObserver` dispatch point.  This package
+provides the protocol plus a toolbox of observers:
+
+* :class:`StatsObserver` / :class:`TraceObserver` — the built-in
+  :class:`~repro.synth.stats.SearchStats` counters and Fig. 5 trace
+  recording, refactored onto the protocol;
+* :class:`MetricsObserver` — counters, gauges, and fixed-bucket
+  histograms in an in-process :class:`MetricsRegistry`;
+* :class:`JsonlTraceObserver` — one JSON object per event, streamed to
+  a file for offline analysis;
+* :class:`ProgressObserver` — periodic steps/sec progress lines;
+* :class:`PhaseTimer` — sampled wall-clock attribution to the four hot
+  phases of the search (substitution enumeration, PPRM substitution,
+  dedupe-table lookups, queue traffic);
+* :func:`build_run_report` — a single versioned JSON document merging
+  stats, metrics, phase timings, options, and environment info.
+
+Observers attach through ``SynthesisOptions.observers``; the phase
+timer through ``SynthesisOptions.phase_timer``.  With neither set the
+search pays only for its own counters, exactly as before the
+refactor.
+"""
+
+from repro.obs.jsonl import JSONL_SCHEMA_VERSION, JsonlTraceObserver, ProgressObserver
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    PRUNE_CHILD_DEPTH,
+    PRUNE_DEPTH,
+    PRUNE_GREEDY,
+    PRUNE_GROWTH,
+    PRUNE_LOWER_BOUND,
+    MultiObserver,
+    NullObserver,
+    SearchObserver,
+    StatsObserver,
+    TraceObserver,
+)
+from repro.obs.phases import PhaseTimer
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    REPORT_VERSION,
+    build_run_report,
+    environment_info,
+    options_as_dict,
+    validate_run_report,
+    write_run_report,
+)
+
+__all__ = [
+    "SearchObserver",
+    "NullObserver",
+    "MultiObserver",
+    "StatsObserver",
+    "TraceObserver",
+    "PRUNE_DEPTH",
+    "PRUNE_CHILD_DEPTH",
+    "PRUNE_LOWER_BOUND",
+    "PRUNE_GROWTH",
+    "PRUNE_GREEDY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "PhaseTimer",
+    "JsonlTraceObserver",
+    "ProgressObserver",
+    "JSONL_SCHEMA_VERSION",
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "build_run_report",
+    "environment_info",
+    "options_as_dict",
+    "validate_run_report",
+    "write_run_report",
+]

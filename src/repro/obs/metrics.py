@@ -1,0 +1,275 @@
+"""A lightweight in-process metrics registry (no external deps).
+
+Three instrument kinds, mirroring the usual client-library trio but
+kept deliberately small: monotone :class:`Counter`, last-value
+:class:`Gauge`, and fixed-bucket :class:`Histogram` (cumulative counts
+per upper bound, plus ``sum``/``count`` for averages).  A
+:class:`MetricsRegistry` names and snapshots them;
+:class:`MetricsObserver` populates a registry from the search's
+observer event stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.obs.observer import SearchObserver
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsObserver",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down; remembers its maximum."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value) -> None:
+        """Record the current value."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with non-cumulative bucket counts.
+
+    ``bounds`` are inclusive upper bounds in increasing order; a final
+    overflow bucket catches everything larger.  ``observe`` costs one
+    bisection — cheap enough for the search hot path when metrics are
+    enabled.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "minimum", "maximum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds):
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def observe(self, value) -> None:
+        """Add one sample."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float | None:
+        return None if self.count == 0 else self.total / self.count
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bar chart of the bucket counts (for ``rmrls profile``)."""
+        labels = [f"<= {bound}" for bound in self.bounds] + [
+            f"> {self.bounds[-1]}"
+        ]
+        label_width = max(len(label) for label in labels)
+        peak = max(self.counts) or 1
+        lines = [f"{self.name}  (n={self.count}, mean="
+                 f"{0.0 if self.mean is None else self.mean:.2f})"]
+        for label, count in zip(labels, self.counts):
+            bar = "#" * round(width * count / peak)
+            lines.append(f"  {label:>{label_width}}  {count:>8}  {bar}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent creation and dict snapshots."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        """Get or create the histogram ``name`` (``bounds`` required on
+        first use; ignored afterwards)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            if bounds is None:
+                raise ValueError(
+                    f"histogram {name!r} needs bucket bounds on first use"
+                )
+            metric = Histogram(name, bounds)
+            self._metrics[name] = metric
+        elif metric.kind != "histogram":
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def get(self, name: str):
+        """Return the metric ``name`` or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict:
+        """Snapshot every metric as plain dicts (JSON-safe)."""
+        return {
+            name: self._metrics[name].as_dict() for name in self.names()
+        }
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: Default bucket bounds for the search histograms.  ``elim`` can be
+#: negative (growth substitutions); queue sizes are powers of four up
+#: to the dedupe-free blowup range.
+ELIM_BOUNDS = (-4, -2, -1, 0, 1, 2, 3, 4, 6, 8, 12, 16)
+CHILDREN_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+QUEUE_BOUNDS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+class MetricsObserver(SearchObserver):
+    """Populate a :class:`MetricsRegistry` from search events.
+
+    Registered metrics (all under the ``search_`` namespace):
+
+    * counters ``search_steps``, ``search_expansions``,
+      ``search_children``, ``search_solutions``, ``search_restarts``,
+      and ``search_pruned_<reason>`` per prune reason;
+    * gauges ``search_queue_size`` (current; max tracks the peak) and
+      ``search_best_depth`` (best solution depth so far);
+    * histograms ``elim`` (terms eliminated per accepted child),
+      ``children_per_expansion``, and ``queue_size`` (sampled at every
+      queue-size change).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._steps = self.registry.counter("search_steps")
+        self._expansions = self.registry.counter("search_expansions")
+        self._children = self.registry.counter("search_children")
+        self._solutions = self.registry.counter("search_solutions")
+        self._restarts = self.registry.counter("search_restarts")
+        self._queue_gauge = self.registry.gauge("search_queue_size")
+        self._best_depth = self.registry.gauge("search_best_depth")
+        self._elim = self.registry.histogram("elim", ELIM_BOUNDS)
+        self._children_hist = self.registry.histogram(
+            "children_per_expansion", CHILDREN_BOUNDS
+        )
+        self._queue_hist = self.registry.histogram("queue_size", QUEUE_BOUNDS)
+        self._open_expansion = False
+        self._children_this_expansion = 0
+
+    def _flush_expansion(self) -> None:
+        if self._open_expansion:
+            self._children_hist.observe(self._children_this_expansion)
+            self._children_this_expansion = 0
+            self._open_expansion = False
+
+    def on_step(self, step, node, queue_size):
+        self._steps.inc()
+
+    def on_expand(self, parent):
+        self._flush_expansion()
+        self._open_expansion = True
+        self._expansions.inc()
+
+    def on_child(self, child, parent):
+        if parent is None:
+            return
+        self._children.inc()
+        self._elim.observe(child.elim)
+        if self._open_expansion:
+            self._children_this_expansion += 1
+
+    def on_prune(self, node, reason, count=1):
+        self.registry.counter(f"search_pruned_{reason}").inc(count)
+
+    def on_solution(self, node, parent):
+        self._solutions.inc()
+        self._best_depth.set(node.depth)
+
+    def on_restart(self, seed, queue_size):
+        self._restarts.inc()
+
+    def on_queue(self, size):
+        self._queue_gauge.set(size)
+        self._queue_hist.observe(size)
+
+    def on_finish(self, reason, stats):
+        self._flush_expansion()

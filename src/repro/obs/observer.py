@@ -1,0 +1,230 @@
+"""The search-observer protocol and its built-in implementations.
+
+:class:`~repro.synth.rmrls._Search` reports every notable search event
+through exactly one observer object.  :class:`StatsObserver` (always
+installed) accumulates the :class:`~repro.synth.stats.SearchStats`
+counters; :class:`TraceObserver` reproduces the Fig. 5
+:class:`~repro.synth.stats.TraceRecorder` stream bit-for-bit; further
+observers (metrics, JSONL, progress) attach via
+``SynthesisOptions.observers`` and are fanned out by
+:class:`MultiObserver`.
+
+Callback contract (all are no-ops on the base class):
+
+``on_step(step, node, queue_size)``
+    One loop iteration: ``node`` was popped from the priority queue.
+``on_expand(parent)``
+    ``node``'s substitutions are about to be enumerated.
+``on_child(child, parent)``
+    A :class:`~repro.synth.node.SearchNode` was created and accepted.
+    The root is reported once with ``parent=None``.
+``on_prune(node, reason, count=1)``
+    Work was discarded.  ``reason`` is one of the ``PRUNE_*`` constants
+    below; for :data:`PRUNE_CHILD_DEPTH`, :data:`PRUNE_LOWER_BOUND`,
+    and :data:`PRUNE_GROWTH` the child node was never built, so
+    ``node`` is the *parent* being expanded.
+``on_solution(node, parent)``
+    ``node`` reaches the identity and improves on the best solution.
+``on_restart(seed, queue_size)``
+    The Sec. IV-E restart heuristic reseeded the queue.
+``on_queue(size)``
+    The queue size changed (push, or clear on a restart path).
+``on_finish(reason, stats)``
+    The run ended; ``reason`` is one of ``identity``, ``solved``,
+    ``queue_exhausted``, ``timeout``, or ``step_limit``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SearchObserver",
+    "NullObserver",
+    "MultiObserver",
+    "StatsObserver",
+    "TraceObserver",
+    "PRUNE_DEPTH",
+    "PRUNE_CHILD_DEPTH",
+    "PRUNE_LOWER_BOUND",
+    "PRUNE_GROWTH",
+    "PRUNE_GREEDY",
+    "FINISH_REASONS",
+]
+
+#: A popped node was discarded because its depth cannot beat the best
+#: solution (Fig. 4 line 16).
+PRUNE_DEPTH = "depth"
+#: A candidate child was dropped at creation time for the same depth
+#: bound (saves queue traffic; the child node is never built).
+PRUNE_CHILD_DEPTH = "child_depth"
+#: A candidate child was dropped by the admissible lower bound
+#: (depth + unsolved outputs >= best depth).
+PRUNE_LOWER_BOUND = "lower_bound"
+#: A non-decreasing candidate was rejected by the Fig. 4 line 31 rule.
+PRUNE_GROWTH = "growth"
+#: A built child was dropped by Sec. IV-E greedy per-variable pruning.
+PRUNE_GREEDY = "greedy"
+
+#: Valid ``reason`` values for :meth:`SearchObserver.on_finish`.
+FINISH_REASONS = (
+    "identity",
+    "solved",
+    "queue_exhausted",
+    "timeout",
+    "step_limit",
+)
+
+
+class SearchObserver:
+    """Base observer: every callback is a no-op.
+
+    Subclass and override only the callbacks you need; the search
+    calls every callback on whatever single observer it holds.
+    """
+
+    def on_step(self, step: int, node, queue_size: int) -> None:
+        """One search-loop iteration; ``node`` was popped."""
+
+    def on_expand(self, parent) -> None:
+        """``parent`` is about to be expanded."""
+
+    def on_child(self, child, parent) -> None:
+        """``child`` was created (``parent is None`` for the root)."""
+
+    def on_prune(self, node, reason: str, count: int = 1) -> None:
+        """``count`` units of work discarded for ``reason``."""
+
+    def on_solution(self, node, parent) -> None:
+        """``node`` is a new best solution."""
+
+    def on_restart(self, seed, queue_size: int) -> None:
+        """The queue was reseeded from first-level node ``seed``."""
+
+    def on_queue(self, size: int) -> None:
+        """The priority queue now holds ``size`` nodes."""
+
+    def on_finish(self, reason: str, stats) -> None:
+        """The run ended with ``reason`` (see :data:`FINISH_REASONS`)."""
+
+
+class NullObserver(SearchObserver):
+    """An explicitly zero-overhead observer (all callbacks inherited
+    no-ops); useful as a placeholder and in overhead tests."""
+
+
+class MultiObserver(SearchObserver):
+    """Fan one event stream out to several observers, in order."""
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers):
+        self.observers = tuple(observers)
+
+    def on_step(self, step, node, queue_size):
+        for observer in self.observers:
+            observer.on_step(step, node, queue_size)
+
+    def on_expand(self, parent):
+        for observer in self.observers:
+            observer.on_expand(parent)
+
+    def on_child(self, child, parent):
+        for observer in self.observers:
+            observer.on_child(child, parent)
+
+    def on_prune(self, node, reason, count=1):
+        for observer in self.observers:
+            observer.on_prune(node, reason, count)
+
+    def on_solution(self, node, parent):
+        for observer in self.observers:
+            observer.on_solution(node, parent)
+
+    def on_restart(self, seed, queue_size):
+        for observer in self.observers:
+            observer.on_restart(seed, queue_size)
+
+    def on_queue(self, size):
+        for observer in self.observers:
+            observer.on_queue(size)
+
+    def on_finish(self, reason, stats):
+        for observer in self.observers:
+            observer.on_finish(reason, stats)
+
+
+class StatsObserver(SearchObserver):
+    """Accumulate :class:`~repro.synth.stats.SearchStats` counters.
+
+    One instance is always installed by the search; it owns no state of
+    its own and writes straight into the shared ``stats`` object.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats):
+        self.stats = stats
+
+    def on_step(self, step, node, queue_size):
+        self.stats.steps += 1
+
+    def on_expand(self, parent):
+        self.stats.nodes_expanded += 1
+
+    def on_child(self, child, parent):
+        self.stats.nodes_created += 1
+
+    def on_prune(self, node, reason, count=1):
+        if reason == PRUNE_GROWTH:
+            self.stats.children_rejected_growth += count
+        elif reason == PRUNE_GREEDY:
+            self.stats.children_pruned_greedy += count
+        else:
+            self.stats.nodes_pruned_depth += count
+
+    def on_solution(self, node, parent):
+        self.stats.solutions_found += 1
+
+    def on_restart(self, seed, queue_size):
+        self.stats.restarts += 1
+
+    def on_queue(self, size):
+        if size > self.stats.peak_queue_size:
+            self.stats.peak_queue_size = size
+
+    def on_finish(self, reason, stats):
+        if reason == "timeout":
+            self.stats.timed_out = True
+        elif reason == "step_limit":
+            self.stats.step_limited = True
+
+
+class TraceObserver(SearchObserver):
+    """Feed a :class:`~repro.synth.stats.TraceRecorder`.
+
+    Emits exactly the event stream the pre-observer search recorded
+    inline: ``pop`` on every step, ``create`` for non-root children,
+    ``prune`` only for pop-time depth prunes, ``solution``, and
+    ``restart``.
+    """
+
+    __slots__ = ("trace",)
+
+    def __init__(self, trace):
+        self.trace = trace
+
+    def on_step(self, step, node, queue_size):
+        self.trace.record("pop", node)
+
+    def on_child(self, child, parent):
+        if parent is not None:
+            self.trace.record("create", child, parent)
+
+    def on_prune(self, node, reason, count=1):
+        if reason == PRUNE_DEPTH:
+            self.trace.record("prune", node)
+
+    def on_solution(self, node, parent):
+        self.trace.record("solution", node, parent)
+
+    def on_restart(self, seed, queue_size):
+        self.trace.record("restart", seed)

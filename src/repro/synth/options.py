@@ -9,7 +9,7 @@ heuristics of Sec. IV-E available but disabled until requested (the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 __all__ = ["SynthesisOptions", "BASIC_OPTIONS", "GREEDY_OPTIONS"]
 
@@ -105,6 +105,21 @@ class SynthesisOptions:
             off by default for faithfulness, used by some ablations).
         record_trace: record search-tree events for Fig. 5/6-style
             traces.
+        deadline_poll_steps: poll the wall-clock deadline once every
+            this many loop iterations instead of every iteration
+            (clock reads are comparatively expensive on some
+            platforms).  The first iteration always checks, so a
+            0-second budget still fails immediately; a run may overrun
+            its deadline by at most ``deadline_poll_steps - 1`` steps.
+        observers: extra :class:`~repro.obs.observer.SearchObserver`
+            instances (metrics, JSONL traces, progress lines, ...)
+            that receive every search event alongside the built-in
+            stats and trace observers.  Stored as a tuple; empty by
+            default, costing nothing.
+        phase_timer: an optional
+            :class:`~repro.obs.phases.PhaseTimer` that attributes
+            sampled wall-clock to the search's hot phases; ``None``
+            (the default) compiles the timing paths out of the loop.
     """
 
     alpha: float = 0.3
@@ -126,8 +141,15 @@ class SynthesisOptions:
     stop_at_first: bool = False
     dedupe_states: bool = False
     record_trace: bool = False
+    deadline_poll_steps: int = 16
+    observers: tuple = ()
+    phase_timer: object | None = field(default=None, compare=False)
 
     def __post_init__(self):
+        if not isinstance(self.observers, tuple):
+            object.__setattr__(self, "observers", tuple(self.observers))
+        if self.deadline_poll_steps < 1:
+            raise ValueError("deadline_poll_steps must be >= 1")
         if self.greedy_k is not None and self.greedy_k < 1:
             raise ValueError("greedy_k must be >= 1 or None")
         if self.max_gates is not None and self.max_gates < 0:

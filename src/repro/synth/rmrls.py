@@ -8,6 +8,12 @@ The implementation follows Fig. 4 line by line, with the Sec. IV-D
 extended substitutions and the Sec. IV-E heuristics (greedy per-variable
 pruning, restarts from alternative first-level substitutions) available
 through :class:`~repro.synth.options.SynthesisOptions`.
+
+Every notable search event is reported through a single
+:class:`~repro.obs.observer.SearchObserver` dispatch point: the
+:class:`SearchStats` counters and the Fig. 5 trace are the two built-in
+observers, and callers can attach more (metrics, JSONL, progress) via
+``SynthesisOptions.observers`` without touching this module.
 """
 
 from __future__ import annotations
@@ -18,6 +24,16 @@ from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit
 from repro.functions.permutation import Permutation
+from repro.obs.observer import (
+    PRUNE_CHILD_DEPTH,
+    PRUNE_DEPTH,
+    PRUNE_GREEDY,
+    PRUNE_GROWTH,
+    PRUNE_LOWER_BOUND,
+    MultiObserver,
+    StatsObserver,
+    TraceObserver,
+)
 from repro.pprm.system import PPRMSystem
 from repro.synth.node import SearchNode
 from repro.synth.options import SynthesisOptions
@@ -84,6 +100,17 @@ class _Search:
         self.system = system
         self.stats = SearchStats(initial_terms=system.term_count())
         self.trace = TraceRecorder() if options.record_trace else None
+        observers = [StatsObserver(self.stats)]
+        if self.trace is not None:
+            observers.append(TraceObserver(self.trace))
+        observers.extend(options.observers)
+        # Single dispatch point: the common single-observer case skips
+        # the MultiObserver fan-out loop entirely.
+        self.observer = (
+            observers[0] if len(observers) == 1 else MultiObserver(observers)
+        )
+        self.phases = options.phase_timer
+        self.timed_step = False
         self.deadline = Deadline(options.time_limit)
         self.queue = MaxPriorityQueue()
         self.best_depth = (
@@ -107,7 +134,7 @@ class _Search:
 
     def _make_root(self, system: PPRMSystem) -> SearchNode:
         root = SearchNode.root(system, node_id=self._claim_id())
-        self.stats.nodes_created += 1
+        self.observer.on_child(root, None)
         return root
 
     def _claim_id(self) -> int:
@@ -119,20 +146,35 @@ class _Search:
 
     def run(self) -> SearchNode | None:
         """Execute the Fig. 4 loop; return the best solution node."""
+        observer = self.observer
+        phases = self.phases
         if self.system.is_identity():
+            observer.on_finish("identity", self.stats)
             return self.root
         self.queue.push(self.root)
+        observer.on_queue(len(self.queue))
+        # The deadline is polled every deadline_poll_steps iterations;
+        # a countdown starting at zero guarantees the very first
+        # iteration still checks, so a 0-second budget fails fast.
+        poll_stride = self.options.deadline_poll_steps
+        poll_countdown = 0
+        reason = "solved"
         while True:
             if self.queue.is_empty() and not self._try_restart(forced=True):
+                if self.best_node is None:
+                    reason = "queue_exhausted"
                 break
-            if self.deadline.is_expired():
-                self.stats.timed_out = True
-                break
+            if poll_countdown <= 0:
+                if self.deadline.is_expired():
+                    reason = "timeout"
+                    break
+                poll_countdown = poll_stride
+            poll_countdown -= 1
             if (
                 self.options.max_steps is not None
                 and self.stats.steps >= self.options.max_steps
             ):
-                self.stats.step_limited = True
+                reason = "step_limit"
                 break
             if (
                 self.options.restart_steps is not None
@@ -142,35 +184,57 @@ class _Search:
             ):
                 continue
 
-            self.stats.steps += 1
+            step = self.stats.steps
+            if phases is not None:
+                self.timed_step = phases.start_step(step)
             self.steps_since_restart += 1
-            parent = self.queue.pop()
-            if self.trace is not None:
-                self.trace.record("pop", parent)
+            if self.timed_step:
+                clock = phases.clock
+                start = clock()
+                parent = self.queue.pop()
+                phases.add("queue", clock() - start)
+            else:
+                parent = self.queue.pop()
+            observer.on_step(step + 1, parent, len(self.queue))
             if parent.depth >= self.best_depth - 1:
-                self.stats.nodes_pruned_depth += 1
-                if self.trace is not None:
-                    self.trace.record("prune", parent)
+                observer.on_prune(parent, PRUNE_DEPTH)
                 continue
             self._expand(parent)
             if self.options.stop_at_first and self.best_node is not None:
                 break
+        observer.on_finish(reason, self.stats)
         return self.best_node
 
     # -- expansion ----------------------------------------------------------------
 
     def _expand(self, parent: SearchNode) -> None:
-        self.stats.nodes_expanded += 1
+        observer = self.observer
+        observer.on_expand(parent)
         options = self.options
-        candidates = enumerate_substitutions(parent.pprm, options)
+        phases = self.phases if self.timed_step else None
+        if phases is None:
+            candidates = enumerate_substitutions(parent.pprm, options)
+        else:
+            clock = phases.clock
+            start = clock()
+            candidates = enumerate_substitutions(parent.pprm, options)
+            phases.add("enumerate_substitutions", clock() - start)
         evaluated: list[tuple] = []
         any_decreasing = False
         depth = parent.depth + 1
         for candidate in candidates:
-            child_system = parent.pprm.substitute(
-                candidate.target, candidate.factor
-            )
-            terms = child_system.term_count()
+            if phases is None:
+                child_system = parent.pprm.substitute(
+                    candidate.target, candidate.factor
+                )
+                terms = child_system.term_count()
+            else:
+                start = clock()
+                child_system = parent.pprm.substitute(
+                    candidate.target, candidate.factor
+                )
+                terms = child_system.term_count()
+                phases.add("substitute", clock() - start)
             elim = parent.terms - terms
             if child_system.is_identity():
                 if depth < self.best_depth:
@@ -179,9 +243,7 @@ class _Search:
                     )
                     self.best_depth = depth
                     self.best_node = child
-                    self.stats.solutions_found += 1
-                    if self.trace is not None:
-                        self.trace.record("solution", child, parent)
+                    observer.on_solution(child, parent)
                     if options.stop_at_first:
                         return
                 continue
@@ -197,23 +259,33 @@ class _Search:
                 # convergence proof keeps them.  We keep them only when
                 # the node is otherwise stuck (no decreasing child).
                 if any_decreasing or not options.growth_when_stuck:
-                    self.stats.children_rejected_growth += 1
+                    observer.on_prune(parent, PRUNE_GROWTH)
                     continue
             if depth >= self.best_depth - 1:
                 # The pop-time depth prune (Fig. 4 line 16) would discard
                 # this child anyway; dropping it now saves queue traffic.
-                self.stats.nodes_pruned_depth += 1
+                observer.on_prune(parent, PRUNE_CHILD_DEPTH)
                 continue
             if options.lower_bound_pruning:
                 unsolved = child_system.num_vars - child_system.solved_outputs()
                 if depth + unsolved >= self.best_depth:
-                    self.stats.nodes_pruned_depth += 1
+                    observer.on_prune(parent, PRUNE_LOWER_BOUND)
                     continue
             if self.visited is not None:
-                known_depth = self.visited.get(child_system)
-                if known_depth is not None and known_depth <= depth:
-                    continue
-                self.visited[child_system] = depth
+                if phases is None:
+                    known_depth = self.visited.get(child_system)
+                    if known_depth is not None and known_depth <= depth:
+                        continue
+                    self.visited[child_system] = depth
+                else:
+                    start = clock()
+                    known_depth = self.visited.get(child_system)
+                    duplicate = known_depth is not None and known_depth <= depth
+                    if not duplicate:
+                        self.visited[child_system] = depth
+                    phases.add("dedupe", clock() - start)
+                    if duplicate:
+                        continue
             priority_elim = (
                 self.stats.initial_terms - terms
                 if options.cumulative_elim_priority
@@ -233,19 +305,28 @@ class _Search:
             )
             per_variable.setdefault(candidate.target, []).append(child)
 
+        pushed = False
         for children in per_variable.values():
             if options.greedy_k is not None and len(children) > options.greedy_k:
                 children.sort(key=lambda node: node.priority, reverse=True)
                 dropped = children[options.greedy_k :]
-                self.stats.children_pruned_greedy += len(dropped)
+                observer.on_prune(parent, PRUNE_GREEDY, len(dropped))
                 children = children[: options.greedy_k]
             for child in children:
                 if parent.is_root():
                     self.first_level.append(child)
-                self.queue.push(child)
-                self.stats.peak_queue_size = max(
-                    self.stats.peak_queue_size, len(self.queue)
-                )
+                if phases is None:
+                    self.queue.push(child)
+                else:
+                    start = clock()
+                    self.queue.push(child)
+                    phases.add("queue", clock() - start)
+                pushed = True
+        if pushed:
+            # One callback per expansion: the queue only grows while a
+            # node expands, so the final size equals the running peak
+            # and per-push notifications would add nothing but overhead.
+            observer.on_queue(len(self.queue))
         parent.release_pprm()
 
     def _make_child(
@@ -261,9 +342,7 @@ class _Search:
             priority=priority,
             node_id=self._claim_id(),
         )
-        self.stats.nodes_created += 1
-        if self.trace is not None:
-            self.trace.record("create", child, parent)
+        self.observer.on_child(child, parent)
         return child
 
     # -- restarts (Sec. IV-E) ----------------------------------------------------------
@@ -304,11 +383,12 @@ class _Search:
             # from the root (the root keeps its PPRM precisely for this).
             seed.pprm = self.root.pprm.substitute(seed.target, seed.factor)
         self.queue.clear()
+        # Queue-size gauges must see the clear, not just the pushes.
+        self.observer.on_queue(0)
         self.queue.push(seed)
-        self.stats.restarts += 1
+        self.observer.on_queue(len(self.queue))
         self.steps_since_restart = 0
-        if self.trace is not None:
-            self.trace.record("restart", seed)
+        self.observer.on_restart(seed, len(self.queue))
         return True
 
 

@@ -8,7 +8,7 @@ decisions, solutions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 __all__ = ["SearchStats", "TraceEvent", "TraceRecorder"]
 
@@ -32,22 +32,12 @@ class SearchStats:
     step_limited: bool = False
 
     def as_dict(self) -> dict:
-        """Return a plain-dict view for report serialization."""
-        return {
-            "steps": self.steps,
-            "nodes_created": self.nodes_created,
-            "nodes_expanded": self.nodes_expanded,
-            "nodes_pruned_depth": self.nodes_pruned_depth,
-            "children_rejected_growth": self.children_rejected_growth,
-            "children_pruned_greedy": self.children_pruned_greedy,
-            "solutions_found": self.solutions_found,
-            "restarts": self.restarts,
-            "peak_queue_size": self.peak_queue_size,
-            "elapsed_seconds": self.elapsed_seconds,
-            "initial_terms": self.initial_terms,
-            "timed_out": self.timed_out,
-            "step_limited": self.step_limited,
-        }
+        """Return a plain-dict view for report serialization.
+
+        Derived from the dataclass fields so that newly added counters
+        can never silently drop out of experiment reports.
+        """
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -148,7 +138,13 @@ class TraceRecorder:
                 f"elim={event.elim}\\npriority={event.priority:.2f}"
             )
             lines.append(f'  n{node_id} [label="{label}"{shape}];')
-            if event.parent_id is not None:
+            # Only draw edges whose tail is itself drawn: a node kept
+            # via the solution branch can have a parent that fell past
+            # the max_nodes cut, and DOT would invent an unlabeled node
+            # for the dangling reference.
+            if event.parent_id is not None and (
+                event.parent_id == 0 or event.parent_id in created
+            ):
                 lines.append(f"  n{event.parent_id} -> n{node_id};")
         lines.append("}")
         return "\n".join(lines)

@@ -1,5 +1,7 @@
 """Tests for the rmrls command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -60,6 +62,99 @@ class TestSynth:
              "--max-steps", "10"]
         )
         assert code == 2
+
+
+class TestObservabilityFlags:
+    def test_json_prints_single_machine_parseable_object(self, capsys):
+        code = main(["synth", "--spec", "1,0,7,2,3,4,5,6", "--json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)  # the whole stdout is one JSON document
+        assert report["schema"] == "rmrls-run-report"
+        assert report["solved"] is True
+        assert report["gate_count"] == 3
+        assert report["stats"]["steps"] > 0
+        assert report["metrics"]["elim"]["count"] > 0
+        assert report["phases"]["stride"] >= 1
+        # No human-oriented lines around the JSON.
+        assert "gates:" not in out
+
+    def test_json_unsolved_reports_failure(self, capsys):
+        code = main(
+            ["synth", "--benchmark", "example4", "--max-steps", "1",
+             "--no-dedupe", "--json"]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["solved"] is False
+        assert report["gate_count"] is None
+
+    def test_metrics_writes_valid_report(self, capsys, tmp_path):
+        from repro.obs import validate_run_report
+
+        path = tmp_path / "run.json"
+        code = main(
+            ["synth", "--spec", "1,0,7,2,3,4,5,6", "--metrics", str(path)]
+        )
+        assert code == 0
+        report = validate_run_report(json.loads(path.read_text()))
+        assert report["metrics"]["queue_size"]["count"] > 0
+        assert set(report["phases"]["phases"]) or report["phases"]["stride"]
+        # Human output is still printed alongside the report file.
+        assert "gates: 3" in capsys.readouterr().out
+
+    def test_trace_jsonl_streams_events(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["synth", "--spec", "1,0,7,2,3,4,5,6",
+             "--trace-jsonl", str(path)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[-1]["event"] == "finish"
+        assert any(record["event"] == "solution" for record in records)
+
+    def test_metrics_missing_directory_fails_fast(self, capsys, tmp_path):
+        code = main(
+            ["synth", "--spec", "1,0",
+             "--metrics", str(tmp_path / "nodir" / "run.json")]
+        )
+        assert code == 2
+        assert "directory does not exist" in capsys.readouterr().err
+
+    def test_progress_every(self, capsys):
+        code = main(
+            ["synth", "--spec", "1,0,7,2,3,4,5,6", "--progress-every", "2"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[rmrls] step=" in err
+
+
+class TestProfileCommand:
+    def test_profile_spec(self, capsys):
+        code = main(["profile", "--spec", "1,0,7,2,3,4,5,6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solved: 3 gates" in out
+        assert "phase breakdown" in out
+        assert "substitute" in out
+        assert "elim" in out and "queue_size" in out
+
+    def test_profile_json(self, capsys):
+        code = main(
+            ["profile", "--spec", "1,0,7,2,3,4,5,6", "--sample-stride", "1",
+             "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["phases"]["stride"] == 1
+        assert "substitute" in report["phases"]["phases"]
+
+    def test_profile_requires_one_spec(self, capsys):
+        assert main(["profile"]) == 2
 
 
 class TestInformational:

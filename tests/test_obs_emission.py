@@ -1,0 +1,113 @@
+"""Tests for JSONL trace emission and periodic progress lines."""
+
+import io
+import json
+
+from repro.obs.jsonl import (
+    JSONL_SCHEMA_VERSION,
+    JsonlTraceObserver,
+    ProgressObserver,
+)
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+
+class TestJsonlTraceObserver:
+    def _run(self, spec, **option_changes):
+        buffer = io.StringIO()
+        observer = JsonlTraceObserver(buffer)
+        result = synthesize(
+            spec,
+            SynthesisOptions(observers=(observer,), **option_changes),
+        )
+        observer.close()
+        return result, buffer.getvalue()
+
+    def test_every_line_is_json(self, fig1_spec):
+        result, text = self._run(fig1_spec, max_steps=5_000)
+        assert result.solved
+        lines = text.strip().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        for record in records:
+            assert record["v"] == JSONL_SCHEMA_VERSION
+            assert "event" in record and "step" in record
+
+    def test_event_kinds_and_finish(self, fig1_spec):
+        result, text = self._run(fig1_spec, max_steps=5_000)
+        records = [json.loads(line) for line in text.strip().splitlines()]
+        kinds = {record["event"] for record in records}
+        assert {"pop", "expand", "child", "solution", "finish"} <= kinds
+        finish = records[-1]
+        assert finish["event"] == "finish"
+        assert finish["reason"] in (
+            "identity", "solved", "queue_exhausted", "timeout", "step_limit"
+        )
+        assert finish["stats"]["steps"] == result.stats.steps
+
+    def test_pop_count_matches_steps(self, fig1_spec):
+        result, text = self._run(fig1_spec, max_steps=5_000)
+        records = [json.loads(line) for line in text.strip().splitlines()]
+        pops = [record for record in records if record["event"] == "pop"]
+        assert len(pops) == result.stats.steps
+        assert all("node" in pop and "terms" in pop for pop in pops)
+
+    def test_open_and_close_file(self, fig1_spec, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        observer = JsonlTraceObserver.open(path)
+        synthesize(
+            fig1_spec,
+            SynthesisOptions(max_steps=5_000, observers=(observer,)),
+        )
+        observer.close()
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        assert json.loads(lines[-1])["event"] == "finish"
+
+    def test_context_manager(self, fig1_spec, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceObserver.open(path) as observer:
+            synthesize(
+                fig1_spec,
+                SynthesisOptions(max_steps=5_000, observers=(observer,)),
+            )
+        assert path.read_text().strip()
+
+
+class TestProgressObserver:
+    def test_emits_every_n_steps(self, fig1_spec):
+        buffer = io.StringIO()
+        observer = ProgressObserver(every=2, stream=buffer)
+        result = synthesize(
+            fig1_spec,
+            SynthesisOptions(max_steps=5_000, observers=(observer,)),
+        )
+        lines = buffer.getvalue().strip().splitlines()
+        assert observer.lines_emitted == len(lines)
+        assert len(lines) == result.stats.steps // 2
+        assert all(line.startswith("[rmrls] step=") for line in lines)
+
+    def test_reports_queue_and_terms(self, fig1_spec):
+        buffer = io.StringIO()
+        observer = ProgressObserver(every=1, stream=buffer)
+        synthesize(
+            fig1_spec,
+            SynthesisOptions(max_steps=5_000, observers=(observer,)),
+        )
+        first = buffer.getvalue().splitlines()[0]
+        assert "queue=" in first and "min_terms=" in first
+
+    def test_tracks_best_depth(self, fig1_spec):
+        observer = ProgressObserver(every=10_000, stream=io.StringIO())
+        result = synthesize(
+            fig1_spec,
+            SynthesisOptions(max_steps=5_000, observers=(observer,)),
+        )
+        assert result.solved
+        assert observer.best_depth == result.gate_count
+
+    def test_invalid_interval(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ProgressObserver(every=0)

@@ -1,0 +1,166 @@
+"""Tests for the in-process metrics registry and MetricsObserver."""
+
+import pytest
+
+from repro.functions.permutation import Permutation
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_as_dict(self):
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.as_dict() == {"kind": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_tracks_current_and_max(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.max_value == 7
+        assert gauge.as_dict() == {"kind": "gauge", "value": 3, "max": 7}
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_bounds(self):
+        histogram = Histogram("h", (0, 2, 4))
+        for value in (-1, 0, 1, 2, 3, 4, 5, 100):
+            histogram.observe(value)
+        # buckets: <=0, <=2, <=4, overflow
+        assert histogram.counts == [2, 2, 2, 2]
+        assert histogram.count == 8
+        assert histogram.minimum == -1
+        assert histogram.maximum == 100
+
+    def test_mean_and_dict(self):
+        histogram = Histogram("h", (10,))
+        histogram.observe(2)
+        histogram.observe(4)
+        data = histogram.as_dict()
+        assert data["mean"] == pytest.approx(3.0)
+        assert data["bounds"] == [10]
+        assert data["counts"] == [2, 0]
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (3, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", (1, 1))
+
+    def test_render_contains_counts(self):
+        histogram = Histogram("elim", (0, 1))
+        histogram.observe(1)
+        text = histogram.render()
+        assert "elim" in text and "<= 1" in text
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h", (1, 2)) is registry.histogram("h")
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x", (1,))
+
+    def test_histogram_needs_bounds_first_use(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        snapshot = registry.as_dict()
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"]["value"] == 1
+
+
+class TestMetricsObserver:
+    def test_synthesis_populates_search_metrics(self, fig1_spec):
+        observer = MetricsObserver()
+        result = synthesize(
+            fig1_spec,
+            SynthesisOptions(
+                max_steps=5_000, dedupe_states=True, observers=(observer,)
+            ),
+        )
+        assert result.solved
+        registry = observer.registry
+        assert registry.counter("search_steps").value == result.stats.steps
+        assert (
+            registry.counter("search_expansions").value
+            == result.stats.nodes_expanded
+        )
+        # The root is not an accepted child, hence the -1.
+        assert (
+            registry.counter("search_children").value
+            == result.stats.nodes_created - 1
+        )
+        elim = registry.get("elim")
+        assert elim.count == result.stats.nodes_created - 1
+        queue = registry.get("queue_size")
+        assert queue.count > 0
+        assert (
+            registry.gauge("search_queue_size").max_value
+            == result.stats.peak_queue_size
+        )
+        assert (
+            registry.gauge("search_best_depth").value == result.gate_count
+        )
+
+    def test_children_per_expansion_flushed(self, fig1_spec):
+        observer = MetricsObserver()
+        result = synthesize(
+            fig1_spec,
+            SynthesisOptions(max_steps=5_000, observers=(observer,)),
+        )
+        histogram = observer.registry.get("children_per_expansion")
+        assert histogram.count == result.stats.nodes_expanded
+
+    def test_prune_counters_match_stats(self, rng):
+        images = list(range(16))
+        rng.shuffle(images)
+        observer = MetricsObserver()
+        result = synthesize(
+            Permutation(images),
+            SynthesisOptions(
+                max_steps=3_000, greedy_k=1, max_gates=12,
+                dedupe_states=True, observers=(observer,),
+            ),
+        )
+        registry = observer.registry
+        greedy = registry.get("search_pruned_greedy")
+        if greedy is not None:
+            assert greedy.value == result.stats.children_pruned_greedy
+        depth_total = sum(
+            registry.counter(f"search_pruned_{reason}").value
+            for reason in ("depth", "child_depth", "lower_bound")
+            if registry.get(f"search_pruned_{reason}") is not None
+        )
+        assert depth_total == result.stats.nodes_pruned_depth

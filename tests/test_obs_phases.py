@@ -1,0 +1,101 @@
+"""Tests for the sampling PhaseTimer."""
+
+import pytest
+
+from repro.obs.phases import SEARCH_PHASES, PhaseTimer
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.25
+        return self.now
+
+
+class TestPhaseTimer:
+    def test_stride_sampling(self):
+        timer = PhaseTimer(stride=4)
+        sampled = [timer.start_step(step) for step in range(8)]
+        assert sampled == [True, False, False, False, True, False, False, False]
+        assert timer.total_steps == 8
+        assert timer.sampled_steps == 2
+
+    def test_stride_one_samples_everything(self):
+        timer = PhaseTimer(stride=1)
+        assert all(timer.start_step(step) for step in range(5))
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            PhaseTimer(stride=0)
+
+    def test_add_and_estimate(self):
+        timer = PhaseTimer(stride=8)
+        timer.add("substitute", 0.5)
+        timer.add("substitute", 0.25)
+        assert timer.seconds["substitute"] == pytest.approx(0.75)
+        assert timer.samples["substitute"] == 2
+        assert timer.estimated_total("substitute") == pytest.approx(6.0)
+
+    def test_phase_context_manager(self):
+        timer = PhaseTimer(stride=1, clock=FakeClock())
+        with timer.phase("queue"):
+            pass
+        assert timer.seconds["queue"] == pytest.approx(0.25)
+        assert timer.samples["queue"] == 1
+
+    def test_as_dict_structure(self):
+        timer = PhaseTimer(stride=2)
+        timer.start_step(0)
+        timer.add("dedupe", 0.1)
+        data = timer.as_dict()
+        assert data["stride"] == 2
+        assert data["total_steps"] == 1
+        assert data["phases"]["dedupe"]["samples"] == 1
+        assert data["phases"]["dedupe"]["estimated_total_seconds"] == (
+            pytest.approx(0.2)
+        )
+
+    def test_render_lists_phases(self):
+        timer = PhaseTimer(stride=4)
+        timer.add("substitute", 0.2)
+        timer.add("queue", 0.1)
+        text = timer.render()
+        assert "substitute" in text and "queue" in text and "1/4" in text
+
+    def test_render_empty(self):
+        assert "no phase samples" in PhaseTimer().render()
+
+
+class TestSearchIntegration:
+    def test_all_hot_phases_attributed(self, fig1_spec):
+        timer = PhaseTimer(stride=1)
+        result = synthesize(
+            fig1_spec,
+            SynthesisOptions(
+                max_steps=5_000, dedupe_states=True, phase_timer=timer
+            ),
+        )
+        assert result.solved
+        assert timer.total_steps == result.stats.steps
+        assert timer.sampled_steps == result.stats.steps
+        for phase in SEARCH_PHASES:
+            assert phase in timer.seconds, phase
+            assert timer.seconds[phase] >= 0.0
+
+    def test_disabled_by_default(self, fig1_spec):
+        result = synthesize(fig1_spec, SynthesisOptions(max_steps=5_000))
+        assert result.options.phase_timer is None
+
+    def test_sampling_does_not_change_search(self, fig1_spec):
+        options = SynthesisOptions(max_steps=5_000, dedupe_states=True)
+        bare = synthesize(fig1_spec, options)
+        timed = synthesize(
+            fig1_spec, options.with_(phase_timer=PhaseTimer(stride=2))
+        )
+        assert bare.circuit == timed.circuit
+        assert bare.stats.steps == timed.stats.steps
+        assert bare.stats.nodes_created == timed.stats.nodes_created
