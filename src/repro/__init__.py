@@ -61,6 +61,9 @@ __all__ = [
     "synthesize",
     "synthesize_ncts",
     "simplify",
+    "HarnessConfig",
+    "RetryPolicy",
+    "run_sweep",
 ]
 
 _LAZY = {
@@ -69,6 +72,9 @@ _LAZY = {
     "synthesize": ("repro.synth", "synthesize"),
     "synthesize_ncts": ("repro.synth", "synthesize_ncts"),
     "simplify": ("repro.postprocess", "simplify"),
+    "HarnessConfig": ("repro.harness", "HarnessConfig"),
+    "RetryPolicy": ("repro.harness", "RetryPolicy"),
+    "run_sweep": ("repro.harness", "run_sweep"),
 }
 
 

@@ -402,6 +402,169 @@ def _cmd_scalability(args) -> int:
     return 0
 
 
+def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--isolate", action="store_true",
+                        help="run each task in a budgeted subprocess")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent isolated workers (default 1)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="max retries per task, with escalating budgets")
+    parser.add_argument("--mem-limit", type=int, metavar="MB", default=None,
+                        help="per-worker address-space cap in MiB "
+                             "(needs --isolate)")
+    parser.add_argument("--wall-limit", type=float, metavar="SECONDS",
+                        default=None,
+                        help="per-attempt wall budget; overrunning workers "
+                             "are killed (needs --isolate)")
+    parser.add_argument("--resume", metavar="LEDGER", default=None,
+                        help="JSONL checkpoint ledger: completed tasks are "
+                             "skipped, new outcomes appended")
+    parser.add_argument("--strict", action="store_true",
+                        help="abort on the first unsound circuit instead of "
+                             "recording it")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="execute at most N unfinished tasks, then stop "
+                             "(combine with --resume to continue later)")
+
+
+def _harness_from_args(args, metrics=None):
+    from repro.harness import HarnessConfig, RetryPolicy
+
+    return HarnessConfig(
+        isolate=args.isolate,
+        jobs=args.jobs,
+        wall_seconds=args.wall_limit,
+        mem_limit_mb=args.mem_limit,
+        retry=RetryPolicy(max_retries=args.retries),
+        ledger_path=args.resume,
+        strict=args.strict,
+        metrics=metrics,
+    )
+
+
+def _cmd_sweep(args) -> int:
+    """Run one experiment sweep through the fault-tolerant harness."""
+    from repro.harness import build_sweep_report, probe_task, run_sweep
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    harness = _harness_from_args(args, metrics=registry)
+    target = args.target
+
+    if target == "probes":
+        behaviors = [
+            behavior.strip()
+            for behavior in (args.probes or "ok").split(",")
+            if behavior.strip()
+        ]
+        tasks = [
+            probe_task(
+                behavior,
+                meta={"label": f"probe{index}:{behavior}"},
+                namespace=f"probes:{index}",
+            )
+            for index, behavior in enumerate(behaviors)
+        ]
+        report = run_sweep(
+            "probes", tasks, config=harness, limit=args.limit
+        )
+        if args.json:
+            print(json.dumps(build_sweep_report(report, registry), indent=2))
+        else:
+            _print_sweep_summary(report)
+        return 0 if report.failed == 0 and not report.interrupted else 1
+
+    results = {}
+    if target == "table1":
+        from repro.experiments.table1 import render_table1, run_table1
+
+        sample = None if args.full else args.sample
+        results = run_table1(
+            sample=sample, seed=args.seed, strict=args.strict,
+            harness=harness, limit=args.limit,
+        )
+        rendered = render_table1(results)
+    elif target in ("table2", "table3"):
+        from repro.experiments.table23 import (
+            render_table2,
+            render_table3,
+            run_random_functions,
+        )
+
+        num_vars = 4 if target == "table2" else 5
+        result = run_random_functions(
+            num_vars, args.sample, seed=args.seed, strict=args.strict,
+            harness=harness, limit=args.limit,
+        )
+        results = {result.name: result}
+        rendered = (
+            render_table2(result) if target == "table2"
+            else render_table3(result)
+        )
+    elif target == "table4":
+        from repro.experiments.table4 import render_table4, run_table4
+
+        names = args.names.split(",") if args.names else None
+        outcomes = run_table4(
+            names, strict=args.strict, harness=harness, limit=args.limit
+        )
+        rendered = render_table4(outcomes)
+    elif target == "scalability":
+        from repro.experiments.table567 import (
+            render_scalability,
+            run_scalability,
+        )
+
+        variables = (
+            [int(v) for v in args.variables.split(",")]
+            if args.variables else None
+        )
+        results = run_scalability(
+            args.max_gates, variables=variables, samples=args.samples,
+            seed=args.seed, strict=args.strict, harness=harness,
+            limit=args.limit,
+        )
+        rendered = render_scalability(args.max_gates, results)
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown sweep target: {target}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        document = {"metrics": registry.as_dict()}
+        experiment_results = (
+            results.values() if hasattr(results, "values") else []
+        )
+        document["results"] = {
+            result.name: {
+                "attempted": result.attempted,
+                "failed": result.failed,
+                "failures": result.failures,
+                "histogram": result.histogram,
+                "sweep": result.extras.get("sweep"),
+            }
+            for result in experiment_results
+            if hasattr(result, "attempted")
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        print(rendered)
+    return 0
+
+
+def _print_sweep_summary(report) -> None:
+    counts = ", ".join(
+        f"{status}={count}"
+        for status, count in sorted(report.counts.items())
+        if count
+    )
+    print(f"sweep {report.name}: {report.completed}/{report.total} tasks "
+          f"({counts or 'nothing ran'})"
+          f"{'; interrupted' if report.interrupted else ''}"
+          f"; {report.replayed} replayed from ledger, "
+          f"{report.retries} retries, "
+          f"{report.elapsed_seconds:.2f}s")
+
+
 def _cmd_examples(_args) -> int:
     from repro.experiments.examples import render_examples, run_examples
 
@@ -540,6 +703,38 @@ def main(argv: list[str] | None = None) -> int:
                              help="comma-separated variable counts (6..16)")
     scalability.add_argument("--seed", type=int, default=2004)
     scalability.set_defaults(handler=_cmd_scalability)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run an experiment sweep through the fault-tolerant "
+             "harness (isolation, budgets, retries, resumable ledger)",
+    )
+    sweep.add_argument(
+        "target",
+        choices=["table1", "table2", "table3", "table4", "scalability",
+                 "probes"],
+        help="which sweep to run ('probes' injects synthetic "
+             "failures for smoke-testing the harness itself)",
+    )
+    sweep.add_argument("--sample", type=int, default=30,
+                       help="sample size for table1/table2/table3")
+    sweep.add_argument("--full", action="store_true",
+                       help="table1: run all 40,320 functions")
+    sweep.add_argument("--seed", type=int, default=2004)
+    sweep.add_argument("--names", help="table4: comma-separated benchmarks")
+    sweep.add_argument("--max-gates", type=int, default=15,
+                       help="scalability: 15, 20, or 25")
+    sweep.add_argument("--samples", type=int, default=10,
+                       help="scalability: samples per variable count")
+    sweep.add_argument("--variables",
+                       help="scalability: comma-separated variable counts")
+    sweep.add_argument("--probes",
+                       help="probes: comma-separated behaviors (ok, "
+                            "unsolved, raise, exit, hang, oom, unsound)")
+    sweep.add_argument("--json", action="store_true",
+                       help="print a machine-readable sweep report")
+    _add_harness_flags(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
 
     commands.add_parser(
         "examples", help="the 14 worked examples of Sec. V-C"

@@ -109,18 +109,30 @@ SCALABILITY_OPTIONS = SynthesisOptions(
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one experiment driver run."""
+    """Outcome of one experiment driver run.
+
+    ``failures`` breaks ``failed`` down by harness taxonomy status
+    (``unsolved``, ``timeout``, ``oom``, ``crash``, ``hang``,
+    ``unsound``) so a sweep that survived bad specifications still
+    reports exactly what went wrong.
+    """
 
     name: str
     histogram: dict[int, int] = field(default_factory=dict)
     failed: int = 0
     attempted: int = 0
     extras: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
 
     @property
     def solved(self) -> int:
         """Functions successfully synthesized."""
         return self.attempted - self.failed
+
+    def record_failure(self, status: str) -> None:
+        """Count one failed attempt under its taxonomy status."""
+        self.failed += 1
+        self.failures[status] = self.failures.get(status, 0) + 1
 
     def average_size(self) -> float | None:
         """Mean circuit size over the solved functions."""

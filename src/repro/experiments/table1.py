@@ -36,9 +36,13 @@ from repro.experiments.common import (
 from repro.experiments.paper_data import TABLE1, TABLE1_AVERAGES
 from repro.functions.permutation import Permutation
 from repro.gates.library import NCT, NCTS
-from repro.postprocess.templates import simplify
+from repro.harness import (
+    HarnessConfig,
+    harness_from_env,
+    permutation_task,
+    run_sweep,
+)
 from repro.synth.options import SynthesisOptions
-from repro.synth.rmrls import synthesize
 
 __all__ = ["run_table1", "render_table1"]
 
@@ -66,30 +70,55 @@ def run_table1(
     options: SynthesisOptions = TABLE1_OPTIONS,
     include_miller: bool = True,
     apply_templates: bool = False,
+    strict: bool = False,
+    harness: HarnessConfig | None = None,
+    limit: int | None = None,
 ) -> dict[str, ExperimentResult]:
     """Measure the Table I distributions.
 
     ``apply_templates`` additionally reports RMRLS followed by template
     simplification (the paper's 6.10 -> 6.05 postprocessing remark).
+    The RMRLS column runs through the fault-tolerant harness (unsound
+    or crashing functions become ``failures`` entries unless
+    ``strict=True``); the Miller baseline and the exhaustive optimal
+    sweeps stay in-process — they are deterministic and cheap.
     """
+    if harness is None:
+        harness = harness_from_env()
     specs = _three_variable_sample(sample, seed)
     results: dict[str, ExperimentResult] = {}
 
     ours = ExperimentResult(name="ours_nct")
     templated = ExperimentResult(name="ours_nct_templates")
-    for spec in specs:
+    namespace = f"table1:seed={seed}"
+    tasks = [
+        permutation_task(
+            spec.images,
+            options,
+            meta={"index": index, "label": str(spec)},
+            namespace=namespace,
+            apply_templates=apply_templates,
+        )
+        for index, spec in enumerate(specs)
+    ]
+
+    def on_outcome(task, outcome):
         ours.attempted += 1
-        outcome = synthesize(spec, options)
-        if outcome.circuit is None:
-            ours.failed += 1
-            continue
-        if not outcome.circuit.implements(spec):
-            raise AssertionError(f"unsound circuit for {spec}")
-        histogram_add(ours.histogram, outcome.circuit.gate_count())
+        if outcome.status != "ok":
+            ours.record_failure(outcome.status)
+            return
+        histogram_add(ours.histogram, outcome.gate_count)
         if apply_templates:
             templated.attempted += 1
-            simplified = simplify(outcome.circuit)
-            histogram_add(templated.histogram, simplified.gate_count())
+            histogram_add(
+                templated.histogram, outcome.extra["template_gate_count"]
+            )
+
+    config = (harness or HarnessConfig()).with_(strict=strict)
+    report = run_sweep(
+        "table1", tasks, config=config, on_outcome=on_outcome, limit=limit
+    )
+    ours.extras["sweep"] = report.as_dict()
     results["ours_nct"] = ours
     if apply_templates:
         results["ours_nct_templates"] = templated

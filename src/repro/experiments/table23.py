@@ -25,8 +25,13 @@ from repro.experiments.paper_data import (
     TABLE3_SIZES,
 )
 from repro.functions.permutation import random_permutation
+from repro.harness import (
+    HarnessConfig,
+    harness_from_env,
+    permutation_task,
+    run_sweep,
+)
 from repro.synth.options import SynthesisOptions
-from repro.synth.rmrls import synthesize
 
 __all__ = ["run_random_functions", "render_table2", "render_table3"]
 
@@ -36,25 +41,61 @@ def run_random_functions(
     sample: int,
     options: SynthesisOptions | None = None,
     seed: int = 2004,
+    strict: bool = False,
+    harness: HarnessConfig | None = None,
+    limit: int | None = None,
 ) -> ExperimentResult:
-    """Synthesize ``sample`` random ``num_vars``-variable functions."""
+    """Synthesize ``sample`` random ``num_vars``-variable functions.
+
+    Every attempt runs through the fault-tolerant harness: an unsound
+    or crashing attempt is recorded in ``result.failures`` and the
+    sweep continues (``strict=True`` restores the historical
+    ``AssertionError`` alarm).  ``harness`` enables isolation, budgets,
+    retries, and ledger resume; without it the specifications are
+    synthesized in-process in the same order as always.
+    """
     if options is None:
         options = TABLE2_OPTIONS if num_vars <= 4 else TABLE3_OPTIONS
+    if harness is None:
+        harness = harness_from_env()
     rng = random.Random(seed)
+    specs = [random_permutation(num_vars, rng) for _ in range(sample)]
+    config = (harness or HarnessConfig()).with_(strict=strict)
+    namespace = f"table23:{num_vars}v:seed={seed}"
+    tasks = [
+        permutation_task(
+            spec.images,
+            options,
+            meta={"index": index, "label": str(spec)},
+            namespace=namespace,
+        )
+        for index, spec in enumerate(specs)
+    ]
     result = ExperimentResult(name=f"random_{num_vars}var")
     elapsed = 0.0
-    for _ in range(sample):
-        spec = random_permutation(num_vars, rng)
+
+    def on_outcome(task, outcome):
+        nonlocal elapsed
         result.attempted += 1
-        outcome = synthesize(spec, options)
-        elapsed += outcome.stats.elapsed_seconds
-        if outcome.circuit is None:
-            result.failed += 1
-            continue
-        if not outcome.circuit.implements(spec):
-            raise AssertionError(f"unsound circuit for {spec}")
-        histogram_add(result.histogram, outcome.circuit.gate_count())
+        elapsed += float(
+            (outcome.stats or {}).get(
+                "elapsed_seconds", outcome.elapsed_seconds
+            )
+        )
+        if outcome.status == "ok":
+            histogram_add(result.histogram, outcome.gate_count)
+        else:
+            result.record_failure(outcome.status)
+
+    report = run_sweep(
+        f"table{2 if num_vars <= 4 else 3}:{num_vars}v",
+        tasks,
+        config=config,
+        on_outcome=on_outcome,
+        limit=limit,
+    )
     result.extras["total_seconds"] = elapsed
+    result.extras["sweep"] = report.as_dict()
     return result
 
 

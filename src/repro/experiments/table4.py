@@ -28,13 +28,19 @@ __all__ = ["BenchmarkOutcome", "run_benchmark", "run_table4", "render_table4"]
 
 @dataclass
 class BenchmarkOutcome:
-    """Result of synthesizing one named benchmark."""
+    """Result of synthesizing one named benchmark.
+
+    ``unsound_count`` counts portfolio attempts whose circuit failed
+    verification; in non-``strict`` runs these are recorded here
+    instead of raising, so one bad benchmark cannot abort a sweep.
+    """
 
     spec: BenchmarkSpec
     circuit: Circuit | None
     raw_gate_count: int | None
     steps: int
     elapsed_seconds: float
+    unsound_count: int = 0
 
     @property
     def solved(self) -> bool:
@@ -69,13 +75,22 @@ def run_benchmark(
     options: SynthesisOptions = TABLE4_OPTIONS,
     use_portfolio: bool = True,
     apply_templates: bool = True,
+    strict: bool = True,
 ) -> BenchmarkOutcome:
-    """Synthesize one benchmark, returning the best verified circuit."""
+    """Synthesize one benchmark, returning the best verified circuit.
+
+    ``strict=True`` (the default) raises ``AssertionError`` the moment
+    a synthesized circuit fails verification — the historical alarm.
+    ``strict=False`` records the failure in ``unsound_count``, discards
+    the circuit, and keeps going, which is what sweeps need: one bad
+    result becomes a structured ``unsound`` outcome, not an abort.
+    """
     attempts = _portfolio(options) if use_portfolio else [options]
     best: Circuit | None = None
     raw_count: int | None = None
     steps = 0
     elapsed = 0.0
+    unsound = 0
     for attempt in attempts:
         outcome = synthesize(spec.pprm(), attempt)
         steps += outcome.stats.steps
@@ -84,7 +99,12 @@ def run_benchmark(
         if circuit is None:
             continue
         if not spec.verify(circuit):
-            raise AssertionError(f"unsound circuit for benchmark {spec.name}")
+            if strict:
+                raise AssertionError(
+                    f"unsound circuit for benchmark {spec.name}"
+                )
+            unsound += 1
+            continue
         if raw_count is None or circuit.gate_count() < raw_count:
             raw_count = circuit.gate_count()
         if apply_templates and circuit.num_lines <= 12:
@@ -104,21 +124,26 @@ def run_benchmark(
         if inverse_outcome.circuit is not None:
             circuit = inverse_outcome.circuit.inverse()
             if not spec.verify(circuit):
-                raise AssertionError(
-                    f"unsound inverse-direction circuit for {spec.name}"
-                )
-            raw_count = circuit.gate_count()
-            if apply_templates and circuit.num_lines <= 12:
-                simplified = simplify(circuit)
-                if spec.verify(simplified):
-                    circuit = simplified
-            best = circuit
+                if strict:
+                    raise AssertionError(
+                        f"unsound inverse-direction circuit for {spec.name}"
+                    )
+                unsound += 1
+                circuit = None
+            if circuit is not None:
+                raw_count = circuit.gate_count()
+                if apply_templates and circuit.num_lines <= 12:
+                    simplified = simplify(circuit)
+                    if spec.verify(simplified):
+                        circuit = simplified
+                best = circuit
     return BenchmarkOutcome(
         spec=spec,
         circuit=best,
         raw_gate_count=raw_count,
         steps=steps,
         elapsed_seconds=elapsed,
+        unsound_count=unsound,
     )
 
 
@@ -126,16 +151,79 @@ def run_table4(
     names: list[str] | None = None,
     options: SynthesisOptions = TABLE4_OPTIONS,
     use_portfolio: bool = True,
+    strict: bool = True,
+    harness=None,
+    ledger_path: str | None = None,
+    limit: int | None = None,
 ) -> dict[str, BenchmarkOutcome]:
-    """Run the benchmark suite (Table IV rows by default)."""
+    """Run the benchmark suite (Table IV rows by default).
+
+    With ``harness`` (a :class:`repro.harness.HarnessConfig`) each
+    benchmark runs through the fault-tolerant sweep executor —
+    optionally isolated, budgeted, retried, and checkpointed — and
+    failed tasks yield an unsolved :class:`BenchmarkOutcome` instead of
+    taking the suite down.
+    """
     if names is None:
         names = [name for name in TABLE4 if name in all_benchmarks()]
     table = all_benchmarks()
+    if harness is None:
+        from repro.harness import harness_from_env
+
+        harness = harness_from_env()
+    if harness is not None:
+        return _run_table4_harnessed(
+            names, table, options, use_portfolio, strict, harness,
+            ledger_path, limit,
+        )
     outcomes = {}
     for name in names:
         outcomes[name] = run_benchmark(
-            table[name], options, use_portfolio=use_portfolio
+            table[name], options, use_portfolio=use_portfolio, strict=strict
         )
+    return outcomes
+
+
+def _run_table4_harnessed(
+    names, table, options, use_portfolio, strict, harness, ledger_path, limit
+) -> dict[str, BenchmarkOutcome]:
+    from repro.harness import benchmark_task, run_sweep
+    from repro.io.real_format import load_real
+
+    if ledger_path is not None and harness.ledger_path is None:
+        harness = harness.with_(ledger_path=ledger_path)
+    harness = harness.with_(strict=strict)
+    tasks = [
+        benchmark_task(
+            name,
+            options,
+            use_portfolio=use_portfolio,
+            meta={"benchmark": name},
+        )
+        for name in names
+    ]
+    outcomes: dict[str, BenchmarkOutcome] = {}
+
+    def on_outcome(task, outcome):
+        name = outcome.meta["benchmark"]
+        circuit = (
+            load_real(outcome.circuit) if outcome.circuit is not None else None
+        )
+        stats = outcome.stats or {}
+        outcomes[name] = BenchmarkOutcome(
+            spec=table[name],
+            circuit=circuit,
+            raw_gate_count=outcome.extra.get("raw_gate_count"),
+            steps=int(stats.get("steps", 0)),
+            elapsed_seconds=float(
+                stats.get("elapsed_seconds", outcome.elapsed_seconds)
+            ),
+            unsound_count=1 if outcome.status == "unsound" else 0,
+        )
+
+    run_sweep(
+        "table4", tasks, config=harness, on_outcome=on_outcome, limit=limit
+    )
     return outcomes
 
 

@@ -28,8 +28,14 @@ from repro.experiments.paper_data import (
     TABLE7,
 )
 from repro.gates.library import GT
+from repro.harness import (
+    HarnessConfig,
+    harness_from_env,
+    random_circuit_task,
+    run_sweep,
+)
+from repro.io.real_format import dump_real
 from repro.synth.options import SynthesisOptions
-from repro.synth.rmrls import synthesize
 from repro.utils.tables import format_table
 
 __all__ = ["run_scalability", "render_scalability"]
@@ -43,6 +49,9 @@ def run_scalability(
     samples: int = 20,
     options: SynthesisOptions = SCALABILITY_OPTIONS,
     seed: int = 2004,
+    strict: bool = False,
+    harness: HarnessConfig | None = None,
+    limit: int | None = None,
 ) -> dict[int, ExperimentResult]:
     """Run the Sec. V-E protocol for one ``max_gates`` setting.
 
@@ -50,32 +59,62 @@ def run_scalability(
     gate cap follows the workload: a generated circuit certifies a
     ``max_gates`` upper bound, but the paper reports found sizes up to
     40, so the cap is ``max(40, options.max_gates)``.
+
+    All variable counts run as one harness sweep (resumable with one
+    ledger); generator circuits cross the task boundary as RevLib
+    ``.real`` text.  An unsound resynthesis is recorded in
+    ``result.failures`` and the sweep continues unless ``strict=True``.
     """
     if variables is None:
         variables = list(range(6, 17))
+    if harness is None:
+        harness = harness_from_env()
     run_options = options.with_(
         max_gates=max(40, options.max_gates or 0)
     )
     results: dict[int, ExperimentResult] = {}
+    tasks = []
     for num_vars in variables:
         rng = random.Random(seed + num_vars * 1009 + max_gates)
-        result = ExperimentResult(name=f"scalability_{num_vars}v_{max_gates}g")
-        for _ in range(samples):
+        results[num_vars] = ExperimentResult(
+            name=f"scalability_{num_vars}v_{max_gates}g"
+        )
+        namespace = f"table567:{max_gates}g:{num_vars}v:seed={seed}"
+        for index in range(samples):
             generator = random_circuit(num_vars, max_gates, rng, GT)
-            # The PPRM comes from the circuit symbolically; tabulating
-            # 2^16 rows per function would dominate the experiment.
-            system = generator.to_pprm()
-            result.attempted += 1
-            outcome = synthesize(system, run_options)
-            if outcome.circuit is None:
-                result.failed += 1
-                continue
-            if not _same_function(outcome.circuit, generator):
-                raise AssertionError(
-                    f"unsound circuit for a random {num_vars}-variable spec"
+            # The PPRM comes from the circuit symbolically (in the
+            # worker); tabulating 2^16 rows per function would dominate
+            # the experiment.
+            tasks.append(
+                random_circuit_task(
+                    dump_real(generator),
+                    run_options,
+                    meta={
+                        "num_vars": num_vars,
+                        "index": index,
+                        "label": f"random {num_vars}-variable spec "
+                                 f"#{index}",
+                    },
+                    namespace=namespace,
                 )
-            histogram_add(result.histogram, outcome.circuit.gate_count())
-        results[num_vars] = result
+            )
+
+    def on_outcome(task, outcome):
+        result = results[outcome.meta["num_vars"]]
+        result.attempted += 1
+        if outcome.status == "ok":
+            histogram_add(result.histogram, outcome.gate_count)
+        else:
+            result.record_failure(outcome.status)
+
+    config = (harness or HarnessConfig()).with_(strict=strict)
+    run_sweep(
+        f"scalability:{max_gates}g",
+        tasks,
+        config=config,
+        on_outcome=on_outcome,
+        limit=limit,
+    )
     return results
 
 

@@ -1,0 +1,138 @@
+"""The resumable sweep ledger — append-only JSONL checkpoints.
+
+Line 1 is a header identifying the schema and the sweep; every further
+line is one finished task's :class:`~repro.harness.taxonomy.TaskOutcome`
+as JSON.  Because task ids are content hashes of the task definition
+(see :mod:`repro.harness.tasks`), resuming is just: regenerate the task
+list from the same seed, skip every id already present, replay the
+recorded outcomes so aggregate results match an uninterrupted run.
+
+Interrupted or in-flight tasks are never written, so a killed sweep
+re-runs exactly the unfinished work.  Records are flushed per line —
+a SIGKILL of the *sweep* loses at most the line being written (a
+truncated trailing line is tolerated on load).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.harness.taxonomy import TaskOutcome
+
+__all__ = ["SweepLedger", "LEDGER_SCHEMA", "LEDGER_VERSION"]
+
+LEDGER_SCHEMA = "rmrls-sweep-ledger"
+LEDGER_VERSION = 1
+
+
+class SweepLedger:
+    """One JSONL checkpoint file for one named sweep.
+
+    Usage::
+
+        ledger = SweepLedger(path, sweep="table2:s=2004:n=30")
+        done = ledger.load()            # task_id -> TaskOutcome
+        with ledger:                    # opens for append
+            ledger.record(outcome)      # one line per finished task
+    """
+
+    def __init__(self, path: str, sweep: str):
+        self.path = path
+        self.sweep = sweep
+        self._handle = None
+
+    def load(self) -> dict[str, TaskOutcome]:
+        """Read completed outcomes from an existing ledger file.
+
+        Returns an empty dict when the file does not exist.  Raises
+        :class:`ValueError` when the file belongs to a different sweep
+        (resuming the wrong ledger would silently skip wrong tasks).
+        A truncated final line — the sweep was killed mid-write — is
+        dropped; everything before it is intact.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        outcomes: dict[str, TaskOutcome] = {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        header = self._parse_line(lines[0])
+        if header is None or header.get("schema") != LEDGER_SCHEMA:
+            raise ValueError(
+                f"{self.path} is not a {LEDGER_SCHEMA} file"
+            )
+        if header.get("version") != LEDGER_VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported ledger version "
+                f"{header.get('version')!r}"
+            )
+        if header.get("sweep") != self.sweep:
+            raise ValueError(
+                f"{self.path} belongs to sweep {header.get('sweep')!r}, "
+                f"not {self.sweep!r}; refusing to resume"
+            )
+        for index, line in enumerate(lines[1:], start=2):
+            data = self._parse_line(line)
+            if data is None:
+                if index == len(lines):
+                    break  # torn tail write; drop it
+                raise ValueError(
+                    f"{self.path}:{index}: corrupt ledger line"
+                )
+            outcome = TaskOutcome.from_dict(data)
+            outcomes[outcome.task_id] = outcome  # last record wins
+        return outcomes
+
+    @staticmethod
+    def _parse_line(line: str):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    def open(self) -> "SweepLedger":
+        """Open the file for appending, writing the header if new."""
+        if self._handle is not None:
+            return self
+        is_new = (
+            not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a")
+        if is_new:
+            header = {
+                "schema": LEDGER_SCHEMA,
+                "version": LEDGER_VERSION,
+                "sweep": self.sweep,
+                "created_unix": time.time(),
+            }
+            self._write_line(header)
+        return self
+
+    def record(self, outcome: TaskOutcome) -> None:
+        """Append one finished task outcome (flushed immediately)."""
+        if self._handle is None:
+            raise RuntimeError("ledger is not open for appending")
+        self._write_line(outcome.as_dict())
+
+    def _write_line(self, data: dict) -> None:
+        self._handle.write(json.dumps(data, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the append handle (load() still works afterwards)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepLedger":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

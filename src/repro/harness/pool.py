@@ -1,0 +1,291 @@
+"""The isolated worker pool: one subprocess per task attempt.
+
+Process-per-attempt is what makes the budgets *hard*: a worker that
+hangs past its wall budget or allocates past its memory budget is
+SIGKILLed (or dies on ``MemoryError`` under ``RLIMIT_AS``) without
+taking the sweep down, and a worker that ``os._exit``\\ s or segfaults
+is classified as ``crash`` rather than aborting the run.
+
+The pool owns scheduling (up to ``jobs`` concurrent workers), budget
+enforcement, exit classification, and the retry ladder; checkpointing
+and aggregation stay with :mod:`repro.harness.sweep` via the
+``on_final`` callback, which fires the moment each task's outcome is
+final so a killed sweep has already persisted everything that finished.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass
+
+from repro.harness.retry import RetryPolicy
+from repro.harness.tasks import Task
+from repro.harness.taxonomy import (
+    STATUS_CRASH,
+    STATUS_HANG,
+    STATUS_OOM,
+    TaskOutcome,
+)
+from repro.harness.worker import worker_entry
+
+__all__ = ["WorkerBudget", "WorkerPool"]
+
+_SIGKILL = 9
+
+
+@dataclass(frozen=True)
+class WorkerBudget:
+    """Hard per-attempt budgets enforced by the parent.
+
+    ``wall_seconds`` is the harness deadline: a worker still running
+    past it is SIGKILLed and classified ``hang``.  ``mem_limit_mb``
+    caps the worker's address space (``RLIMIT_AS``); the overrun
+    surfaces as ``MemoryError`` → ``oom``.  ``None`` disables either
+    budget.
+    """
+
+    wall_seconds: float | None = None
+    mem_limit_mb: int | None = None
+
+    def __post_init__(self):
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive or None")
+        if self.mem_limit_mb is not None and self.mem_limit_mb <= 0:
+            raise ValueError("mem_limit_mb must be positive or None")
+
+
+class _Attempt:
+    """Bookkeeping for one running worker process."""
+
+    __slots__ = (
+        "task", "attempt", "process", "conn",
+        "started", "deadline", "killed", "prior_elapsed",
+    )
+
+    def __init__(self, task, attempt, process, conn, started, deadline,
+                 prior_elapsed):
+        self.task = task
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.started = started
+        self.deadline = deadline
+        self.killed = False
+        self.prior_elapsed = prior_elapsed
+
+
+class _Pending:
+    """A task waiting for a worker slot (possibly in retry backoff)."""
+
+    __slots__ = ("task", "attempt", "ready_at", "prior_elapsed")
+
+    def __init__(self, task, attempt=1, ready_at=0.0, prior_elapsed=0.0):
+        self.task = task
+        self.attempt = attempt
+        self.ready_at = ready_at
+        self.prior_elapsed = prior_elapsed
+
+
+def _default_context():
+    # fork is markedly cheaper than spawn and keeps the warmed-up
+    # interpreter; fall back to the platform default elsewhere.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """Run tasks in isolated subprocesses under hard budgets.
+
+    ``jobs`` bounds concurrency; each attempt gets a fresh process.
+    ``retry`` drives the escalation ladder (options, wall, and memory
+    budgets all escalate per :class:`~repro.harness.retry.RetryPolicy`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        budget: WorkerBudget | None = None,
+        retry: RetryPolicy | None = None,
+        context=None,
+        clock=time.monotonic,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.budget = budget if budget is not None else WorkerBudget()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._ctx = context if context is not None else _default_context()
+        self._clock = clock
+
+    # -- process plumbing --------------------------------------------------
+
+    def _launch(self, pending: _Pending) -> _Attempt:
+        task = pending.task
+        options = self.retry.escalate_options(task.options, pending.attempt)
+        mem = self.retry.escalate_mem(
+            self.budget.mem_limit_mb, pending.attempt
+        )
+        receiver, sender = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_entry,
+            args=(sender, task.kind, task.payload, options,
+                  pending.attempt, mem),
+            daemon=True,
+        )
+        process.start()
+        sender.close()  # the child owns the send end now
+        started = self._clock()
+        wall = self.retry.escalate_wall(
+            self.budget.wall_seconds, pending.attempt
+        )
+        deadline = None if wall is None else started + wall
+        return _Attempt(
+            task, pending.attempt, process, receiver, started, deadline,
+            pending.prior_elapsed,
+        )
+
+    def _conclude(self, running: _Attempt) -> dict:
+        """Collect the raw result dict of a finished (or killed) worker."""
+        result = None
+        try:
+            if running.conn.poll():
+                result = running.conn.recv()
+        except (EOFError, OSError):
+            result = None
+        finally:
+            running.conn.close()
+        running.process.join()
+        if isinstance(result, dict) and "status" in result:
+            return result
+        if running.killed:
+            return {
+                "status": STATUS_HANG,
+                "error": (
+                    "worker SIGKILLed after exceeding its wall budget"
+                ),
+            }
+        exitcode = running.process.exitcode
+        if exitcode == -_SIGKILL:
+            # We did not kill it — the kernel OOM killer uses SIGKILL.
+            return {
+                "status": STATUS_OOM,
+                "error": "worker killed by SIGKILL (kernel OOM suspected)",
+            }
+        return {
+            "status": STATUS_CRASH,
+            "error": f"worker exited with code {exitcode} without a result",
+        }
+
+    def _kill(self, running: _Attempt) -> None:
+        running.killed = True
+        running.process.kill()
+
+    def _terminate_all(self, running: list[_Attempt]) -> None:
+        for attempt in running:
+            if attempt.process.is_alive():
+                attempt.process.kill()
+        for attempt in running:
+            attempt.process.join()
+            attempt.conn.close()
+
+    # -- the scheduling loop -----------------------------------------------
+
+    def run(self, tasks, on_final=None) -> list[TaskOutcome]:
+        """Run every task to a final outcome; return them in finish order.
+
+        ``on_final(task, outcome)`` fires as soon as a task's outcome is
+        final (all retries exhausted or not needed).  On
+        ``KeyboardInterrupt`` every live worker is SIGKILLed and the
+        interrupt propagates — tasks without a final outcome simply have
+        none, which is what makes a later resume re-run them.
+        """
+        pending = [_Pending(task) for task in tasks]
+        running: list[_Attempt] = []
+        finished: list[TaskOutcome] = []
+        try:
+            while pending or running:
+                now = self._clock()
+                self._fill_slots(pending, running, now)
+                self._wait(pending, running, now)
+                now = self._clock()
+                for attempt in list(running):
+                    if attempt.process.is_alive():
+                        if (
+                            attempt.deadline is not None
+                            and now >= attempt.deadline
+                        ):
+                            self._kill(attempt)
+                            attempt.process.join()
+                        else:
+                            continue
+                    running.remove(attempt)
+                    self._settle(attempt, now, pending, finished, on_final)
+        except BaseException:
+            self._terminate_all(running)
+            raise
+        return finished
+
+    def _fill_slots(self, pending, running, now) -> None:
+        while len(running) < self.jobs:
+            ready = next(
+                (p for p in pending if p.ready_at <= now), None
+            )
+            if ready is None:
+                return
+            pending.remove(ready)
+            running.append(self._launch(ready))
+
+    def _wait(self, pending, running, now) -> None:
+        """Block until a worker exits, a deadline passes, or a backoff
+        window opens."""
+        horizons = [a.deadline for a in running if a.deadline is not None]
+        if len(running) < self.jobs:
+            horizons.extend(p.ready_at for p in pending if p.ready_at > now)
+        timeout = None
+        if horizons:
+            timeout = max(0.0, min(horizons) - now)
+        if running:
+            multiprocessing.connection.wait(
+                [attempt.process.sentinel for attempt in running],
+                timeout=timeout,
+            )
+        elif timeout:
+            time.sleep(min(timeout, 0.05))
+
+    def _settle(self, attempt, now, pending, finished, on_final) -> None:
+        raw = self._conclude(attempt)
+        status = raw["status"]
+        elapsed = attempt.prior_elapsed + (now - attempt.started)
+        if self.retry.should_retry(status, attempt.attempt):
+            ready_at = now + self.retry.backoff(
+                attempt.task.task_id, attempt.attempt + 1
+            )
+            pending.append(
+                _Pending(
+                    attempt.task,
+                    attempt.attempt + 1,
+                    ready_at,
+                    elapsed,
+                )
+            )
+            return
+        outcome = TaskOutcome(
+            task_id=attempt.task.task_id,
+            status=status,
+            attempts=attempt.attempt,
+            gate_count=raw.get("gate_count"),
+            quantum_cost=raw.get("quantum_cost"),
+            circuit=raw.get("circuit"),
+            stats=dict(raw.get("stats") or {}),
+            error=raw.get("error"),
+            elapsed_seconds=elapsed,
+            meta=dict(attempt.task.meta),
+            extra=dict(raw.get("extra") or {}),
+        )
+        finished.append(outcome)
+        if on_final is not None:
+            on_final(attempt.task, outcome)

@@ -1,0 +1,130 @@
+"""Bounded retries with escalating budgets.
+
+The paper's heuristics trade completeness for speed: a function that
+fails under ``greedy_k=3`` and a small step budget often succeeds with
+a wider beam and more steps (Sec. V-B runs k from three to five).  The
+retry policy encodes that ladder: each retry re-derives the attempt's
+options from the *original* task — wider ``greedy_k``, scaled
+``max_steps`` / ``time_limit`` — so the sequence of attempts is a pure
+function of (task, attempt number) and therefore reproducible.
+
+Transient infrastructure failures (``crash``, ``hang``, ``oom``) are
+retried with the same escalation plus a jittered backoff whose jitter
+is seeded from the task id: sweeps remain deterministic, but a herd of
+retries does not synchronize.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.harness.taxonomy import (
+    STATUS_CRASH,
+    STATUS_HANG,
+    STATUS_OOM,
+    STATUS_TIMEOUT,
+    STATUS_UNSOLVED,
+)
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRYABLE"]
+
+#: Statuses worth a retry by default.  ``unsound`` is excluded — it is
+#: deterministic evidence of a bug, not a transient failure — and so is
+#: ``interrupted`` (the user asked to stop).
+DEFAULT_RETRYABLE = (
+    STATUS_UNSOLVED,
+    STATUS_TIMEOUT,
+    STATUS_OOM,
+    STATUS_CRASH,
+    STATUS_HANG,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how aggressively to retry a failed task.
+
+    ``max_retries=0`` disables retries.  Attempt numbers are 1-based:
+    attempt 1 runs the task's own options, attempt ``1+n`` the n-th
+    escalation.  Escalations compound multiplicatively from the base
+    options (never from a previous escalation), so the ladder is
+    stateless and ledger-reproducible.
+    """
+
+    max_retries: int = 0
+    retry_on: tuple = DEFAULT_RETRYABLE
+    step_factor: float = 2.0
+    time_factor: float = 1.5
+    mem_factor: float = 1.5
+    widen_greedy: int = 2
+    backoff_seconds: float = 0.0
+    backoff_jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.step_factor < 1 or self.time_factor < 1 or self.mem_factor < 1:
+            raise ValueError("escalation factors must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+
+    def should_retry(self, status: str, attempt: int) -> bool:
+        """True when ``status`` after ``attempt`` warrants another go."""
+        return attempt <= self.max_retries and status in self.retry_on
+
+    def escalate_options(self, base_options: dict, attempt: int) -> dict:
+        """Options for the given 1-based ``attempt``.
+
+        Attempt 1 returns the base unchanged; attempt ``1+n`` scales
+        ``max_steps`` and ``time_limit`` by their factors to the n-th
+        power and widens ``greedy_k`` by ``n * widen_greedy`` (a
+        ``None`` budget stays ``None`` — there is nothing to escalate).
+        """
+        escalation = attempt - 1
+        if escalation <= 0:
+            return dict(base_options)
+        options = dict(base_options)
+        if options.get("max_steps") is not None:
+            options["max_steps"] = max(
+                1, round(options["max_steps"] * self.step_factor**escalation)
+            )
+        if options.get("time_limit") is not None:
+            options["time_limit"] = (
+                options["time_limit"] * self.time_factor**escalation
+            )
+        if options.get("greedy_k") is not None:
+            options["greedy_k"] = (
+                options["greedy_k"] + escalation * self.widen_greedy
+            )
+        return options
+
+    def escalate_wall(self, wall_seconds, attempt: int):
+        """Harness wall budget for the given attempt (``None`` stays)."""
+        if wall_seconds is None or attempt <= 1:
+            return wall_seconds
+        return wall_seconds * self.time_factor ** (attempt - 1)
+
+    def escalate_mem(self, mem_limit_mb, attempt: int):
+        """Worker memory budget for the given attempt (``None`` stays)."""
+        if mem_limit_mb is None or attempt <= 1:
+            return mem_limit_mb
+        return int(round(mem_limit_mb * self.mem_factor ** (attempt - 1)))
+
+    def backoff(self, task_id: str, attempt: int) -> float:
+        """Seconds to wait before the given retry attempt.
+
+        The jitter fraction is drawn from a PRNG seeded with
+        ``(task_id, attempt)``: deterministic per task, decorrelated
+        across tasks.
+        """
+        if self.backoff_seconds <= 0 or attempt <= 1:
+            return 0.0
+        base = self.backoff_seconds * 2 ** (attempt - 2)
+        if self.backoff_jitter == 0:
+            return base
+        rng = random.Random(f"{task_id}:{attempt}")
+        spread = self.backoff_jitter * base
+        return base - spread / 2 + rng.random() * spread

@@ -1,0 +1,387 @@
+"""Fault-tolerant sweep orchestration.
+
+:func:`run_sweep` drives a list of declarative tasks to completion:
+
+* **resume** — with a ledger path, previously finished task ids are
+  skipped and their recorded outcomes replayed, so aggregates equal an
+  uninterrupted run;
+* **isolation** — with ``isolate=True`` each attempt runs in a
+  subprocess under hard wall/memory budgets (see
+  :mod:`repro.harness.pool`); without it tasks run in-process through
+  the very same task runners (no budgets enforceable beyond the
+  search's own, but crashes are still contained and classified);
+* **retries** — failed attempts re-run with escalated budgets per the
+  :class:`~repro.harness.retry.RetryPolicy`;
+* **accounting** — every outcome is classified into the failure
+  taxonomy, counted in the :class:`SweepReport`, and (optionally)
+  mirrored into a PR-1 :class:`~repro.obs.metrics.MetricsRegistry` as
+  ``sweep_outcome_<status>`` counters.
+
+A ``KeyboardInterrupt`` stops the sweep cleanly: running workers are
+killed, finished work is already checkpointed, and the report says
+``interrupted`` — nothing is lost but the in-flight attempts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.harness.ledger import SweepLedger
+from repro.harness.pool import WorkerBudget, WorkerPool
+from repro.harness.retry import RetryPolicy
+from repro.harness.tasks import Task
+from repro.harness.taxonomy import (
+    STATUS_CRASH,
+    STATUS_INTERRUPTED,
+    STATUS_OOM,
+    STATUS_UNSOUND,
+    STATUSES,
+    TaskOutcome,
+)
+from repro.harness.worker import execute_payload
+
+__all__ = [
+    "HarnessConfig",
+    "SweepReport",
+    "UnsoundCircuitError",
+    "run_sweep",
+    "harness_from_env",
+    "build_sweep_report",
+]
+
+
+class UnsoundCircuitError(AssertionError):
+    """Raised in ``strict`` mode when a task yields an unsound circuit.
+
+    Subclasses :class:`AssertionError` so existing alarm tests (and
+    callers) that expect the historical ``assert``-style failure keep
+    working.
+    """
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """How a sweep executes its tasks.
+
+    The default — no isolation, no ledger, no retries, ``strict``
+    verification alarms left to the caller — runs every task inline and
+    reproduces the plain driver loops bit for bit.
+    """
+
+    isolate: bool = False
+    jobs: int = 1
+    wall_seconds: float | None = None
+    mem_limit_mb: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    ledger_path: str | None = None
+    strict: bool = False
+    mp_context: str | None = None
+    metrics: object | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    def with_(self, **changes) -> "HarnessConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class SweepReport:
+    """Aggregate accounting for one sweep run."""
+
+    name: str
+    counts: dict = field(default_factory=dict)
+    total: int = 0
+    completed: int = 0
+    replayed: int = 0
+    remaining: int = 0
+    retries: int = 0
+    interrupted: bool = False
+    elapsed_seconds: float = 0.0
+
+    def count(self, status: str) -> int:
+        """Tasks that ended with ``status``."""
+        return self.counts.get(status, 0)
+
+    @property
+    def ok(self) -> int:
+        return self.count("ok")
+
+    @property
+    def failed(self) -> int:
+        """Tasks that ended in any non-``ok`` status."""
+        return sum(
+            count for status, count in self.counts.items() if status != "ok"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (embedded in sweep reports)."""
+        return {
+            "name": self.name,
+            "counts": {s: self.counts.get(s, 0) for s in STATUSES},
+            "total": self.total,
+            "completed": self.completed,
+            "replayed": self.replayed,
+            "remaining": self.remaining,
+            "retries": self.retries,
+            "interrupted": self.interrupted,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def _run_inline_attempt(task: Task, options: dict, attempt: int) -> dict:
+    """One in-process attempt, with exceptions mapped to the taxonomy.
+
+    ``KeyboardInterrupt`` propagates (the sweep loop converts it into a
+    clean stop); everything else is contained as ``crash``/``oom`` so a
+    poisoned specification cannot abort the sweep even without process
+    isolation.
+    """
+    try:
+        return execute_payload(task.kind, task.payload, options, attempt)
+    except KeyboardInterrupt:
+        raise
+    except MemoryError:
+        return {
+            "status": STATUS_OOM,
+            "error": "MemoryError during in-process execution",
+        }
+    except BaseException:
+        return {
+            "status": STATUS_CRASH,
+            "error": traceback.format_exc(limit=20),
+        }
+
+
+def _run_inline(tasks, config, on_final, clock=time.monotonic) -> bool:
+    """Run tasks in-process with the same retry ladder; returns True
+    when interrupted."""
+    retry = config.retry
+    for task in tasks:
+        attempt = 1
+        elapsed = 0.0
+        try:
+            while True:
+                start = clock()
+                raw = _run_inline_attempt(
+                    task, retry.escalate_options(task.options, attempt),
+                    attempt,
+                )
+                elapsed += clock() - start
+                status = raw["status"]
+                if status == STATUS_INTERRUPTED:
+                    # The search caught Ctrl-C and returned a partial
+                    # result; stop the sweep without recording the task.
+                    return True
+                if retry.should_retry(status, attempt):
+                    delay = retry.backoff(task.task_id, attempt + 1)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                break
+        except KeyboardInterrupt:
+            return True
+        outcome = TaskOutcome(
+            task_id=task.task_id,
+            status=status,
+            attempts=attempt,
+            gate_count=raw.get("gate_count"),
+            quantum_cost=raw.get("quantum_cost"),
+            circuit=raw.get("circuit"),
+            stats=dict(raw.get("stats") or {}),
+            error=raw.get("error"),
+            elapsed_seconds=elapsed,
+            meta=dict(task.meta),
+            extra=dict(raw.get("extra") or {}),
+        )
+        on_final(task, outcome)
+    return False
+
+
+def run_sweep(
+    name: str,
+    tasks,
+    config: HarnessConfig | None = None,
+    on_outcome=None,
+    limit: int | None = None,
+) -> SweepReport:
+    """Run ``tasks`` to completion under ``config``; return the report.
+
+    ``on_outcome(task_or_none, outcome)`` fires for every final outcome
+    — replayed-from-ledger ones first (with their original recorded
+    data), then freshly executed ones as they finish.  ``limit`` caps
+    the number of tasks *executed* this call (replays are free), which
+    turns an interrupted sweep into a deterministic, testable event:
+    the report flags ``interrupted`` and the ledger holds exactly the
+    finished prefix.
+
+    In ``strict`` mode an ``unsound`` outcome raises
+    :class:`UnsoundCircuitError` — after checkpointing it, so even the
+    alarm case loses no data.
+    """
+    if config is None:
+        config = HarnessConfig()
+    tasks = list(tasks)
+    report = SweepReport(name=name, total=len(tasks))
+    started = time.monotonic()
+    registry = config.metrics
+
+    ledger = None
+    recorded: dict[str, TaskOutcome] = {}
+    if config.ledger_path:
+        ledger = SweepLedger(config.ledger_path, sweep=name)
+        recorded = ledger.load()
+
+    def account(task, outcome, replay: bool) -> None:
+        report.counts[outcome.status] = (
+            report.counts.get(outcome.status, 0) + 1
+        )
+        report.completed += 1
+        if replay:
+            report.replayed += 1
+        else:
+            report.retries += outcome.attempts - 1
+        if registry is not None:
+            registry.counter(f"sweep_outcome_{outcome.status}").inc()
+            registry.counter("sweep_tasks_total").inc()
+            if not replay and outcome.attempts > 1:
+                registry.counter("sweep_retries_total").inc(
+                    outcome.attempts - 1
+                )
+        if on_outcome is not None:
+            on_outcome(task, outcome)
+        if config.strict and outcome.status == STATUS_UNSOUND:
+            label = task.label() if task is not None else outcome.task_id
+            raise UnsoundCircuitError(f"unsound circuit for {label}")
+
+    def finish() -> SweepReport:
+        report.remaining = report.total - report.completed
+        report.elapsed_seconds = time.monotonic() - started
+        if registry is not None and report.interrupted:
+            registry.counter("sweep_interrupts_total").inc()
+        return report
+
+    pending: list[Task] = []
+    try:
+        for task in tasks:
+            previous = recorded.get(task.task_id)
+            if previous is not None:
+                account(task, previous, replay=True)
+            else:
+                pending.append(task)
+
+        if limit is not None and len(pending) > limit:
+            pending = pending[:limit]
+            report.interrupted = True
+
+        if not pending:
+            return finish()
+
+        if ledger is not None:
+            ledger.open()
+
+        def on_final(task, outcome):
+            if ledger is not None:
+                ledger.record(outcome)
+            account(task, outcome, replay=False)
+
+        if config.isolate:
+            pool = WorkerPool(
+                jobs=config.jobs,
+                budget=WorkerBudget(
+                    wall_seconds=config.wall_seconds,
+                    mem_limit_mb=config.mem_limit_mb,
+                ),
+                retry=config.retry,
+                context=(
+                    None
+                    if config.mp_context is None
+                    else __import__("multiprocessing").get_context(
+                        config.mp_context
+                    )
+                ),
+            )
+            try:
+                pool.run(pending, on_final=on_final)
+            except KeyboardInterrupt:
+                report.interrupted = True
+        else:
+            if _run_inline(pending, config, on_final):
+                report.interrupted = True
+        return finish()
+    finally:
+        if ledger is not None:
+            ledger.close()
+
+
+def harness_from_env(environ=None) -> HarnessConfig | None:
+    """Build a :class:`HarnessConfig` from ``RMRLS_*`` variables.
+
+    Returns ``None`` when no harness variable is set, which lets the
+    experiment drivers and benchmarks keep their plain in-process
+    behavior by default while any sweep can be hardened without code
+    changes::
+
+        RMRLS_ISOLATE=1 RMRLS_RETRIES=2 RMRLS_MEM_LIMIT_MB=1024 \\
+            RMRLS_LEDGER=sweep.jsonl pytest benchmarks/ ...
+
+    Variables: ``RMRLS_ISOLATE`` (truthy enables subprocess isolation),
+    ``RMRLS_SWEEP_JOBS``, ``RMRLS_RETRIES``, ``RMRLS_MEM_LIMIT_MB``,
+    ``RMRLS_WALL_LIMIT`` (seconds), ``RMRLS_LEDGER`` (path).
+    """
+    env = os.environ if environ is None else environ
+    isolate = env.get("RMRLS_ISOLATE", "") not in ("", "0", "false", "no")
+    jobs = env.get("RMRLS_SWEEP_JOBS")
+    retries = env.get("RMRLS_RETRIES")
+    mem = env.get("RMRLS_MEM_LIMIT_MB")
+    wall = env.get("RMRLS_WALL_LIMIT")
+    ledger = env.get("RMRLS_LEDGER")
+    if not (isolate or jobs or retries or mem or wall or ledger):
+        return None
+    return HarnessConfig(
+        isolate=isolate,
+        jobs=int(jobs) if jobs else 1,
+        wall_seconds=float(wall) if wall else None,
+        mem_limit_mb=int(mem) if mem else None,
+        retry=RetryPolicy(max_retries=int(retries)) if retries else
+        RetryPolicy(),
+        ledger_path=ledger or None,
+    )
+
+
+#: Schema stamped into sweep report documents.
+SWEEP_REPORT_SCHEMA = "rmrls-sweep-report"
+SWEEP_REPORT_VERSION = 1
+
+
+def build_sweep_report(
+    report: SweepReport,
+    registry=None,
+    extra: dict | None = None,
+) -> dict:
+    """Build the machine-readable JSON document for one sweep run.
+
+    The sibling of :func:`repro.obs.report.build_run_report` at sweep
+    granularity: taxonomy counts, retry totals, and (optionally) the
+    full metrics snapshot, stamped with schema and environment info.
+    """
+    from repro.obs.report import environment_info
+
+    document = {
+        "schema": SWEEP_REPORT_SCHEMA,
+        "version": SWEEP_REPORT_VERSION,
+        "generated_unix": time.time(),
+        "sweep": report.as_dict(),
+        "metrics": None if registry is None else registry.as_dict(),
+        "environment": environment_info(),
+    }
+    if extra:
+        document["extra"] = dict(extra)
+    return document

@@ -1,0 +1,166 @@
+"""The failure taxonomy of the execution harness.
+
+Every synthesis task run under :mod:`repro.harness` ends in exactly one
+of the :data:`STATUSES` below.  The classification is structural — it
+describes *how* the attempt ended, not why the function was hard:
+
+``ok``
+    A verified circuit was produced.
+``unsolved``
+    The search finished inside its budgets without a circuit
+    (``step_limit`` or ``queue_exhausted`` under the heuristics).
+``timeout``
+    The in-process wall-clock budget (``SynthesisOptions.time_limit``)
+    expired without a solution.
+``oom``
+    A memory budget stopped the attempt: the in-process guards
+    (``max_nodes`` / ``max_queue_size`` → finish reason
+    ``memory_limit``), a ``MemoryError`` under the worker's address
+    space limit, or a kernel OOM kill of the worker.
+``crash``
+    The worker died without delivering a result: an unhandled
+    exception, a raw ``os._exit``, or a fatal signal.
+``hang``
+    The worker blew through the *harness* wall-clock budget and was
+    SIGKILLed — the in-process deadline either was not set or never
+    fired (e.g. a stuck substitution enumeration).
+``unsound``
+    A circuit was produced but failed re-verification against the
+    specification.  Always a bug; sweeps record it instead of dying.
+``interrupted``
+    The attempt was cancelled (Ctrl-C, sweep shutdown).  Interrupted
+    tasks are never checkpointed, so a resumed sweep re-runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_UNSOLVED",
+    "STATUS_TIMEOUT",
+    "STATUS_OOM",
+    "STATUS_CRASH",
+    "STATUS_HANG",
+    "STATUS_UNSOUND",
+    "STATUS_INTERRUPTED",
+    "STATUSES",
+    "FAILURE_STATUSES",
+    "TaskOutcome",
+    "status_from_finish_reason",
+]
+
+STATUS_OK = "ok"
+STATUS_UNSOLVED = "unsolved"
+STATUS_TIMEOUT = "timeout"
+STATUS_OOM = "oom"
+STATUS_CRASH = "crash"
+STATUS_HANG = "hang"
+STATUS_UNSOUND = "unsound"
+STATUS_INTERRUPTED = "interrupted"
+
+#: Every valid task status, in severity order.
+STATUSES = (
+    STATUS_OK,
+    STATUS_UNSOLVED,
+    STATUS_TIMEOUT,
+    STATUS_OOM,
+    STATUS_CRASH,
+    STATUS_HANG,
+    STATUS_UNSOUND,
+    STATUS_INTERRUPTED,
+)
+
+#: Statuses that count as failed attempts.
+FAILURE_STATUSES = tuple(s for s in STATUSES if s != STATUS_OK)
+
+
+def status_from_finish_reason(reason: str, solved: bool) -> str:
+    """Map a search finish reason onto the task taxonomy.
+
+    ``solved`` results are always ``ok`` regardless of the reason (a
+    budget may trip after a solution was already found); verification
+    happens separately and may override to ``unsound``.
+    """
+    if solved:
+        return STATUS_OK
+    if reason == "timeout":
+        return STATUS_TIMEOUT
+    if reason == "memory_limit":
+        return STATUS_OOM
+    if reason == "interrupted":
+        return STATUS_INTERRUPTED
+    return STATUS_UNSOLVED
+
+
+@dataclass
+class TaskOutcome:
+    """Final, classified outcome of one task (after any retries).
+
+    ``stats`` is the plain-dict :class:`~repro.synth.stats.SearchStats`
+    snapshot of the last attempt (empty when the worker died before
+    reporting); ``circuit`` is RevLib ``.real`` text when a solution
+    survived serialization.  ``attempts`` counts executions including
+    retries; ``elapsed_seconds`` sums wall-clock across attempts as
+    seen by the harness.
+    """
+
+    task_id: str
+    status: str
+    attempts: int = 1
+    gate_count: int | None = None
+    quantum_cost: int | None = None
+    circuit: str | None = None
+    stats: dict = field(default_factory=dict)
+    error: str | None = None
+    elapsed_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown task status: {self.status!r}")
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a verified circuit."""
+        return self.status == STATUS_OK
+
+    @property
+    def failed(self) -> bool:
+        """True for every non-``ok`` status."""
+        return self.status != STATUS_OK
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (the ledger line body)."""
+        return {
+            "task_id": self.task_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "gate_count": self.gate_count,
+            "quantum_cost": self.quantum_cost,
+            "circuit": self.circuit,
+            "stats": dict(self.stats),
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds,
+            "meta": dict(self.meta),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskOutcome":
+        """Rebuild an outcome from a ledger line body."""
+        return cls(
+            task_id=data["task_id"],
+            status=data["status"],
+            attempts=data.get("attempts", 1),
+            gate_count=data.get("gate_count"),
+            quantum_cost=data.get("quantum_cost"),
+            circuit=data.get("circuit"),
+            stats=dict(data.get("stats") or {}),
+            error=data.get("error"),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            meta=dict(data.get("meta") or {}),
+            extra=dict(data.get("extra") or {}),
+        )

@@ -1,0 +1,263 @@
+"""Task execution — in-process and as the subprocess entry point.
+
+:func:`execute_payload` runs one declarative task (see
+:mod:`repro.harness.tasks`) and returns a JSON-safe result dict with at
+least a ``status`` key from the failure taxonomy.  The same function
+backs both the inline executor and the isolated worker;
+:func:`worker_entry` wraps it for the subprocess side (memory limit,
+exception → taxonomy mapping, result hand-off over a pipe).
+
+Imports of the experiment stack are deliberately lazy: the experiment
+drivers import the harness, so the harness must not import them at
+module load.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+from repro.harness.tasks import options_from_payload
+from repro.harness.taxonomy import (
+    STATUS_CRASH,
+    STATUS_INTERRUPTED,
+    STATUS_OK,
+    STATUS_OOM,
+    STATUS_TIMEOUT,
+    STATUS_UNSOLVED,
+    STATUS_UNSOUND,
+    status_from_finish_reason,
+)
+
+__all__ = [
+    "execute_payload",
+    "worker_entry",
+    "apply_memory_limit",
+]
+
+
+def apply_memory_limit(mem_limit_mb: int) -> bool:
+    """Cap this process's address space at ``mem_limit_mb`` megabytes.
+
+    ``RLIMIT_AS`` is the enforceable stand-in for an RSS budget on
+    POSIX (Linux does not enforce ``RLIMIT_RSS``); an allocation past
+    the cap raises ``MemoryError``, which the worker reports as
+    ``oom``.  Returns ``False`` where the limit cannot be applied
+    (no ``resource`` module, or the cap exceeds the hard limit).
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return False
+    limit = int(mem_limit_mb) * 1024 * 1024
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ValueError, OSError):
+        return False
+    return True
+
+
+def _synthesis_result_dict(result, verified: bool | None) -> dict:
+    """Map a :class:`SynthesisResult` (+ verification verdict) onto the
+    worker result schema."""
+    status = status_from_finish_reason(
+        result.stats.finish_reason, result.solved
+    )
+    out = {"status": status, "stats": result.stats.as_dict()}
+    if result.solved:
+        if verified is False:
+            out["status"] = STATUS_UNSOUND
+        from repro.io.real_format import dump_real
+
+        out["gate_count"] = result.circuit.gate_count()
+        out["quantum_cost"] = result.circuit.quantum_cost()
+        out["circuit"] = dump_real(result.circuit)
+    return out
+
+
+def _run_permutation(payload: dict, options: dict, attempt: int) -> dict:
+    from repro.functions.permutation import Permutation
+    from repro.synth.rmrls import synthesize
+
+    permutation = Permutation(payload["images"])
+    result = synthesize(permutation, options_from_payload(options))
+    verified = (
+        result.circuit.implements(permutation) if result.solved else None
+    )
+    out = _synthesis_result_dict(result, verified)
+    if (
+        out["status"] == STATUS_OK
+        and payload.get("apply_templates")
+    ):
+        from repro.postprocess.templates import simplify
+
+        out.setdefault("extra", {})["template_gate_count"] = simplify(
+            result.circuit
+        ).gate_count()
+    return out
+
+
+def _run_pprm(payload: dict, options: dict, attempt: int) -> dict:
+    from repro.pprm.parser import parse_system
+    from repro.synth.rmrls import synthesize
+
+    system = parse_system(payload["system"])
+    result = synthesize(system, options_from_payload(options))
+    # A PPRM spec carries its own ground truth: re-deriving the PPRM of
+    # the synthesized cascade must reproduce the input system.
+    verified = None
+    if result.solved:
+        verified = str(result.circuit.to_pprm()) == str(system)
+    return _synthesis_result_dict(result, verified)
+
+
+def _run_random_circuit(payload: dict, options: dict, attempt: int) -> dict:
+    from repro.io.real_format import load_real
+    from repro.synth.rmrls import synthesize
+
+    generator = load_real(payload["real"])
+    system = generator.to_pprm()
+    result = synthesize(system, options_from_payload(options))
+    verified = None
+    if result.solved:
+        from repro.experiments.table567 import _same_function
+
+        verified = _same_function(result.circuit, generator)
+    return _synthesis_result_dict(result, verified)
+
+
+def _run_benchmark(payload: dict, options: dict, attempt: int) -> dict:
+    from repro.benchlib.specs import benchmark
+    from repro.experiments.table4 import run_benchmark
+
+    spec = benchmark(payload["name"])
+    outcome = run_benchmark(
+        spec,
+        options_from_payload(options),
+        use_portfolio=payload.get("use_portfolio", True),
+        apply_templates=payload.get("apply_templates", True),
+        strict=False,
+    )
+    stats = {
+        "steps": outcome.steps,
+        "elapsed_seconds": outcome.elapsed_seconds,
+    }
+    if outcome.solved:
+        from repro.io.real_format import dump_real
+
+        return {
+            "status": STATUS_OK,
+            "gate_count": outcome.gate_count,
+            "quantum_cost": outcome.quantum_cost,
+            "circuit": dump_real(outcome.circuit),
+            "stats": stats,
+            "extra": {"raw_gate_count": outcome.raw_gate_count},
+        }
+    status = STATUS_UNSOUND if outcome.unsound_count else STATUS_UNSOLVED
+    return {"status": status, "stats": stats}
+
+
+def _run_probe(payload: dict, options: dict, attempt: int) -> dict:
+    behavior = payload["behavior"]
+    if behavior == "ok":
+        if payload.get("sleep"):
+            time.sleep(payload["sleep"])
+        return {
+            "status": STATUS_OK,
+            "gate_count": payload.get("gate_count", 1),
+            "stats": {"elapsed_seconds": payload.get("elapsed", 0.0)},
+        }
+    if behavior in (STATUS_UNSOLVED, STATUS_TIMEOUT, STATUS_UNSOUND):
+        return {"status": behavior, "stats": {}}
+    if behavior == "raise":
+        raise RuntimeError(payload.get("message", "injected worker crash"))
+    if behavior == "interrupt":
+        raise KeyboardInterrupt
+    if behavior == "exit":
+        os._exit(payload.get("code", 13))
+    if behavior == "hang":
+        time.sleep(payload.get("seconds", 3600))
+        return {"status": STATUS_OK, "gate_count": payload.get("gate_count", 1)}
+    if behavior == "oom":
+        # Allocate a bounded amount; under a smaller RLIMIT_AS this
+        # raises MemoryError (classified oom by worker_entry), without
+        # a limit it completes and reports ok.
+        mbytes = int(payload.get("mbytes", 256))
+        blocks = [bytearray(1024 * 1024) for _ in range(mbytes)]
+        return {"status": STATUS_OK, "gate_count": len(blocks)}
+    if behavior == "flaky":
+        if attempt < int(payload.get("ok_after", 2)):
+            raise RuntimeError(f"injected flake on attempt {attempt}")
+        return {"status": STATUS_OK, "gate_count": payload.get("gate_count", 1)}
+    if behavior == "need_steps":
+        # Succeeds only once the retry ladder has escalated max_steps
+        # past the threshold.
+        budget = options.get("max_steps") or 0
+        if budget >= int(payload["min_steps"]):
+            return {"status": STATUS_OK, "gate_count": 1}
+        return {"status": STATUS_UNSOLVED, "stats": {}}
+    raise ValueError(f"unknown probe behavior: {behavior!r}")
+
+
+_RUNNERS = {
+    "permutation": _run_permutation,
+    "pprm": _run_pprm,
+    "random_circuit": _run_random_circuit,
+    "benchmark": _run_benchmark,
+    "probe": _run_probe,
+}
+
+
+def execute_payload(
+    kind: str, payload: dict, options: dict, attempt: int = 1
+) -> dict:
+    """Run one task in the current process.
+
+    Returns the raw result dict (``status`` plus kind-specific keys).
+    Exceptions propagate — classification into ``crash``/``oom``/... is
+    the caller's job (:func:`worker_entry` in a subprocess, the inline
+    executor in-process).
+    """
+    runner = _RUNNERS.get(kind)
+    if runner is None:
+        raise ValueError(f"unknown task kind: {kind!r}")
+    return runner(payload, options, attempt)
+
+
+def worker_entry(
+    conn,
+    kind: str,
+    payload: dict,
+    options: dict,
+    attempt: int,
+    mem_limit_mb: int | None,
+) -> None:
+    """Subprocess entry point: run the task, send one result dict.
+
+    Every exception is converted to a taxonomy status here so that the
+    parent only has to deal with three cases: a result arrived, the
+    process died silently, or the parent killed it.
+    """
+    try:
+        if mem_limit_mb is not None:
+            apply_memory_limit(mem_limit_mb)
+        result = execute_payload(kind, payload, options, attempt)
+    except MemoryError:
+        result = {
+            "status": STATUS_OOM,
+            "error": "MemoryError: worker exceeded its memory budget",
+        }
+    except KeyboardInterrupt:
+        result = {"status": STATUS_INTERRUPTED, "error": "KeyboardInterrupt"}
+    except BaseException:
+        result = {
+            "status": STATUS_CRASH,
+            "error": traceback.format_exc(limit=20),
+        }
+    try:
+        conn.send(result)
+    except (BrokenPipeError, OSError):
+        pass  # parent already gave up on us; exit quietly
+    finally:
+        conn.close()

@@ -210,7 +210,9 @@ class MetricsObserver(SearchObserver):
 
     * counters ``search_steps``, ``search_expansions``,
       ``search_children``, ``search_solutions``, ``search_restarts``,
-      and ``search_pruned_<reason>`` per prune reason;
+      ``search_pruned_<reason>`` per prune reason,
+      ``search_guard_<kind>`` per guard-rail event, and
+      ``search_finish_<reason>`` per finish reason;
     * gauges ``search_queue_size`` (current; max tracks the peak) and
       ``search_best_depth`` (best solution depth so far);
     * histograms ``elim`` (terms eliminated per accepted child),
@@ -260,6 +262,9 @@ class MetricsObserver(SearchObserver):
     def on_prune(self, node, reason, count=1):
         self.registry.counter(f"search_pruned_{reason}").inc(count)
 
+    def on_guard(self, kind, count=1):
+        self.registry.counter(f"search_guard_{kind}").inc(count)
+
     def on_solution(self, node, parent):
         self._solutions.inc()
         self._best_depth.set(node.depth)
@@ -273,3 +278,4 @@ class MetricsObserver(SearchObserver):
 
     def on_finish(self, reason, stats):
         self._flush_expansion()
+        self.registry.counter(f"search_finish_{reason}").inc()

@@ -29,9 +29,15 @@ Callback contract (all are no-ops on the base class):
     The Sec. IV-E restart heuristic reseeded the queue.
 ``on_queue(size)``
     The queue size changed (push, or clear on a restart path).
+``on_guard(kind, count=1)``
+    An in-process guard rail fired ``count`` times.  ``kind`` is one of
+    the ``GUARD_*`` constants below (currently only
+    :data:`GUARD_VISITED_OVERFLOW`: the capped duplicate table refused
+    an insert).
 ``on_finish(reason, stats)``
     The run ended; ``reason`` is one of ``identity``, ``solved``,
-    ``queue_exhausted``, ``timeout``, or ``step_limit``.
+    ``queue_exhausted``, ``timeout``, ``step_limit``,
+    ``memory_limit``, or ``interrupted``.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ __all__ = [
     "PRUNE_LOWER_BOUND",
     "PRUNE_GROWTH",
     "PRUNE_GREEDY",
+    "GUARD_VISITED_OVERFLOW",
     "FINISH_REASONS",
 ]
 
@@ -64,6 +71,10 @@ PRUNE_GROWTH = "growth"
 #: A built child was dropped by Sec. IV-E greedy per-variable pruning.
 PRUNE_GREEDY = "greedy"
 
+#: The capped duplicate-state table was full and skipped an insert
+#: (the child still enters the queue; only dedupe coverage degrades).
+GUARD_VISITED_OVERFLOW = "visited_overflow"
+
 #: Valid ``reason`` values for :meth:`SearchObserver.on_finish`.
 FINISH_REASONS = (
     "identity",
@@ -71,6 +82,8 @@ FINISH_REASONS = (
     "queue_exhausted",
     "timeout",
     "step_limit",
+    "memory_limit",
+    "interrupted",
 )
 
 
@@ -101,6 +114,9 @@ class SearchObserver:
 
     def on_queue(self, size: int) -> None:
         """The priority queue now holds ``size`` nodes."""
+
+    def on_guard(self, kind: str, count: int = 1) -> None:
+        """An in-process guard rail fired ``count`` times."""
 
     def on_finish(self, reason: str, stats) -> None:
         """The run ended with ``reason`` (see :data:`FINISH_REASONS`)."""
@@ -147,6 +163,10 @@ class MultiObserver(SearchObserver):
         for observer in self.observers:
             observer.on_queue(size)
 
+    def on_guard(self, kind, count=1):
+        for observer in self.observers:
+            observer.on_guard(kind, count)
+
     def on_finish(self, reason, stats):
         for observer in self.observers:
             observer.on_finish(reason, stats)
@@ -191,11 +211,20 @@ class StatsObserver(SearchObserver):
         if size > self.stats.peak_queue_size:
             self.stats.peak_queue_size = size
 
+    def on_guard(self, kind, count=1):
+        if kind == GUARD_VISITED_OVERFLOW:
+            self.stats.visited_overflows += count
+
     def on_finish(self, reason, stats):
+        self.stats.finish_reason = reason
         if reason == "timeout":
             self.stats.timed_out = True
         elif reason == "step_limit":
             self.stats.step_limited = True
+        elif reason == "memory_limit":
+            self.stats.memory_limited = True
+        elif reason == "interrupted":
+            self.stats.interrupted = True
 
 
 class TraceObserver(SearchObserver):

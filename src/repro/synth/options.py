@@ -103,6 +103,19 @@ class SynthesisOptions:
             "As soon as a solution was found, we chose to move on").
         dedupe_states: optional visited-state table (not in the paper;
             off by default for faithfulness, used by some ablations).
+        max_visited: cap on the number of entries the ``dedupe_states``
+            table may hold.  Once full, further states are no longer
+            recorded (duplicates past the cap can be re-explored) and
+            each skipped insert is counted as a ``visited_overflow``
+            guard event; ``None`` leaves the table unbounded.
+        max_nodes: hard cap on the number of search nodes created
+            across the whole run (restarts included).  Reaching it ends
+            the run with finish reason ``memory_limit`` — the node
+            count is the dominant term of the search's memory
+            footprint.  ``None`` disables the guard.
+        max_queue_size: hard cap on the priority-queue size; exceeding
+            it ends the run with finish reason ``memory_limit``.
+            ``None`` disables the guard.
         record_trace: record search-tree events for Fig. 5/6-style
             traces.
         deadline_poll_steps: poll the wall-clock deadline once every
@@ -140,6 +153,9 @@ class SynthesisOptions:
     lower_bound_pruning: bool = True
     stop_at_first: bool = False
     dedupe_states: bool = False
+    max_visited: int | None = None
+    max_nodes: int | None = None
+    max_queue_size: int | None = None
     record_trace: bool = False
     deadline_poll_steps: int = 16
     observers: tuple = ()
@@ -164,6 +180,12 @@ class SynthesisOptions:
             raise ValueError("time_limit must be non-negative")
         if self.growth_exempt_literals < -1:
             raise ValueError("growth_exempt_literals must be >= -1")
+        if self.max_visited is not None and self.max_visited < 1:
+            raise ValueError("max_visited must be >= 1 or None")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1 or None")
+        if self.max_queue_size is not None and self.max_queue_size < 1:
+            raise ValueError("max_queue_size must be >= 1 or None")
 
     def with_(self, **changes) -> "SynthesisOptions":
         """Return a copy with the given fields replaced."""

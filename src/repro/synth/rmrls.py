@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.circuits.circuit import Circuit
 from repro.functions.permutation import Permutation
 from repro.obs.observer import (
+    GUARD_VISITED_OVERFLOW,
     PRUNE_CHILD_DEPTH,
     PRUNE_DEPTH,
     PRUNE_GREEDY,
@@ -51,9 +52,9 @@ class SynthesisResult:
     """Outcome of one RMRLS run.
 
     ``circuit`` is ``None`` when synthesis failed within its budget
-    (time limit, step limit, or exhausted queue under the heuristics);
-    Sec. IV-F guarantees that the basic algorithm without budgets never
-    fails.
+    (time limit, step limit, memory guard, interrupt, or exhausted
+    queue under the heuristics); Sec. IV-F guarantees that the basic
+    algorithm without budgets never fails.
     """
 
     circuit: Circuit | None
@@ -66,6 +67,11 @@ class SynthesisResult:
     def solved(self) -> bool:
         """True when a circuit was found."""
         return self.circuit is not None
+
+    @property
+    def finish_reason(self) -> str:
+        """Why the search ended (one of ``FINISH_REASONS``)."""
+        return self.stats.finish_reason
 
     @property
     def gate_count(self) -> int | None:
@@ -147,35 +153,60 @@ class _Search:
     def run(self) -> SearchNode | None:
         """Execute the Fig. 4 loop; return the best solution node."""
         observer = self.observer
-        phases = self.phases
         if self.system.is_identity():
             observer.on_finish("identity", self.stats)
             return self.root
         self.queue.push(self.root)
         observer.on_queue(len(self.queue))
+        try:
+            reason = self._loop()
+        except KeyboardInterrupt:
+            # A Ctrl-C mid-search yields a partial result (reason
+            # "interrupted", best solution so far) instead of a lost
+            # run; sweep drivers check ``stats.interrupted`` to stop.
+            reason = "interrupted"
+        observer.on_finish(reason, self.stats)
+        return self.best_node
+
+    def _memory_guard_tripped(self) -> bool:
+        """True when a node-count or queue-size cap has been exceeded."""
+        options = self.options
+        if (
+            options.max_nodes is not None
+            and self.next_node_id >= options.max_nodes
+        ):
+            return True
+        return (
+            options.max_queue_size is not None
+            and len(self.queue) > options.max_queue_size
+        )
+
+    def _loop(self) -> str:
+        """The search loop proper; returns the finish reason."""
+        observer = self.observer
+        phases = self.phases
         # The deadline is polled every deadline_poll_steps iterations;
         # a countdown starting at zero guarantees the very first
         # iteration still checks, so a 0-second budget fails fast.
         poll_stride = self.options.deadline_poll_steps
         poll_countdown = 0
-        reason = "solved"
         while True:
             if self.queue.is_empty() and not self._try_restart(forced=True):
                 if self.best_node is None:
-                    reason = "queue_exhausted"
-                break
+                    return "queue_exhausted"
+                return "solved"
+            if self._memory_guard_tripped():
+                return "memory_limit"
             if poll_countdown <= 0:
                 if self.deadline.is_expired():
-                    reason = "timeout"
-                    break
+                    return "timeout"
                 poll_countdown = poll_stride
             poll_countdown -= 1
             if (
                 self.options.max_steps is not None
                 and self.stats.steps >= self.options.max_steps
             ):
-                reason = "step_limit"
-                break
+                return "step_limit"
             if (
                 self.options.restart_steps is not None
                 and self.best_node is None
@@ -201,9 +232,7 @@ class _Search:
                 continue
             self._expand(parent)
             if self.options.stop_at_first and self.best_node is not None:
-                break
-        observer.on_finish(reason, self.stats)
-        return self.best_node
+                return "solved"
 
     # -- expansion ----------------------------------------------------------------
 
@@ -276,13 +305,13 @@ class _Search:
                     known_depth = self.visited.get(child_system)
                     if known_depth is not None and known_depth <= depth:
                         continue
-                    self.visited[child_system] = depth
+                    self._visited_record(known_depth, child_system, depth)
                 else:
                     start = clock()
                     known_depth = self.visited.get(child_system)
                     duplicate = known_depth is not None and known_depth <= depth
                     if not duplicate:
-                        self.visited[child_system] = depth
+                        self._visited_record(known_depth, child_system, depth)
                     phases.add("dedupe", clock() - start)
                     if duplicate:
                         continue
@@ -328,6 +357,25 @@ class _Search:
             # and per-push notifications would add nothing but overhead.
             observer.on_queue(len(self.queue))
         parent.release_pprm()
+
+    def _visited_record(self, known_depth, child_system, depth) -> None:
+        """Record ``child_system`` in the duplicate table, honoring the
+        optional entry cap.
+
+        Updating an already-known state (at a shallower depth) is always
+        allowed — it does not grow the table; only brand-new entries are
+        refused once the cap is reached, each refusal counted as a
+        ``visited_overflow`` guard event.
+        """
+        cap = self.options.max_visited
+        if (
+            known_depth is None
+            and cap is not None
+            and len(self.visited) >= cap
+        ):
+            self.observer.on_guard(GUARD_VISITED_OVERFLOW)
+            return
+        self.visited[child_system] = depth
 
     def _make_child(
         self, parent, candidate, child_system, terms, elim, priority

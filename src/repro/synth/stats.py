@@ -30,6 +30,10 @@ class SearchStats:
     initial_terms: int = 0
     timed_out: bool = False
     step_limited: bool = False
+    memory_limited: bool = False
+    interrupted: bool = False
+    visited_overflows: int = 0
+    finish_reason: str = ""
 
     def as_dict(self) -> dict:
         """Return a plain-dict view for report serialization.

@@ -54,18 +54,40 @@ class Deadline:
 
 
 class Stopwatch:
-    """Measure wall-clock durations for experiment reports."""
+    """Measure wall-clock durations for experiment reports.
+
+    Used either free-running (create, read :meth:`elapsed`) or as a
+    context manager; leaving the ``with`` block (or calling
+    :meth:`stop`) freezes the reading, so timings recorded *after* the
+    block are stable instead of silently continuing to tick.
+    """
 
     def __init__(self, clock=time.monotonic):
         self._clock = clock
         self._start = clock()
+        self._frozen: float | None = None
 
     def restart(self) -> None:
-        """Reset the stopwatch to zero."""
+        """Reset the stopwatch to zero and resume ticking."""
         self._start = self._clock()
+        self._frozen = None
+
+    def stop(self) -> float:
+        """Freeze and return the elapsed reading."""
+        if self._frozen is None:
+            self._frozen = self._clock() - self._start
+        return self._frozen
+
+    @property
+    def running(self) -> bool:
+        """True until :meth:`stop` (or ``__exit__``) freezes the watch."""
+        return self._frozen is None
 
     def elapsed(self) -> float:
-        """Return seconds since creation or the last :meth:`restart`."""
+        """Seconds since creation or the last :meth:`restart`; frozen
+        once the watch is stopped."""
+        if self._frozen is not None:
+            return self._frozen
         return self._clock() - self._start
 
     def __enter__(self) -> "Stopwatch":
@@ -73,4 +95,4 @@ class Stopwatch:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.stop_time = self.elapsed()
+        self.stop_time = self.stop()

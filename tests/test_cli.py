@@ -263,3 +263,51 @@ class TestExperimentCommands:
         )
         assert code == 0
         assert "maximum gate count 5" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_probes_json_reports_taxonomy(self, capsys):
+        code = main(
+            ["sweep", "probes", "--probes", "ok,unsolved,raise", "--json"]
+        )
+        assert code == 1  # failures present
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "rmrls-sweep-report"
+        counts = document["sweep"]["counts"]
+        assert counts["ok"] == 1
+        assert counts["unsolved"] == 1
+        assert counts["crash"] == 1
+
+    def test_probes_human_summary(self, capsys):
+        code = main(["sweep", "probes", "--probes", "ok,ok"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep probes: 2/2 tasks" in out
+        assert "ok=2" in out
+
+    def test_table2_limit_then_resume(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        base = ["sweep", "table2", "--sample", "3", "--seed", "7",
+                "--resume", ledger, "--json"]
+        assert main(base + ["--limit", "1"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        sweep = first["results"]["random_4var"]["sweep"]
+        assert sweep["interrupted"] and sweep["completed"] == 1
+
+        assert main(base) == 0
+        second = json.loads(capsys.readouterr().out)
+        sweep = second["results"]["random_4var"]["sweep"]
+        assert not sweep["interrupted"]
+        assert sweep["completed"] == 3 and sweep["replayed"] == 1
+
+    def test_strict_flag_surfaces_unsound(self, capsys, monkeypatch):
+        from repro.circuits.circuit import Circuit
+
+        monkeypatch.setattr(Circuit, "implements", lambda self, spec: False)
+        with pytest.raises(AssertionError, match="unsound"):
+            main(["sweep", "table2", "--sample", "1", "--strict"])
+
+    def test_table4_sweep(self, capsys):
+        code = main(["sweep", "table4", "--names", "fig1"])
+        assert code == 0
+        assert "Table IV" in capsys.readouterr().out

@@ -14,6 +14,8 @@ from repro.synth.rmrls import synthesize
 
 
 class TestDriverVerificationFires:
+    """``strict=True`` preserves the historical hard alarm."""
+
     def test_table1_driver_detects_bad_circuits(self, monkeypatch):
         from repro.experiments import table1
 
@@ -21,7 +23,7 @@ class TestDriverVerificationFires:
             Circuit, "implements", lambda self, spec: False
         )
         with pytest.raises(AssertionError, match="unsound"):
-            table1.run_table1(sample=1, include_miller=False)
+            table1.run_table1(sample=1, include_miller=False, strict=True)
 
     def test_table23_driver_detects_bad_circuits(self, monkeypatch):
         from repro.experiments import table23
@@ -31,7 +33,10 @@ class TestDriverVerificationFires:
         )
         with pytest.raises(AssertionError, match="unsound"):
             table23.run_random_functions(
-                3, 1, SynthesisOptions(dedupe_states=True, max_steps=5000)
+                3,
+                1,
+                SynthesisOptions(dedupe_states=True, max_steps=5000),
+                strict=True,
             )
 
     def test_benchmark_driver_detects_bad_circuits(self, monkeypatch):
@@ -46,7 +51,71 @@ class TestDriverVerificationFires:
                 ["3_17"],
                 SynthesisOptions(dedupe_states=True, max_steps=5000),
                 use_portfolio=False,
+                strict=True,
             )
+
+    def test_scalability_driver_detects_bad_circuits(self, monkeypatch):
+        from repro.experiments import table567
+
+        monkeypatch.setattr(
+            table567, "_same_function", lambda found, generator: False
+        )
+        with pytest.raises(AssertionError, match="unsound"):
+            table567.run_scalability(
+                3,
+                variables=[3],
+                samples=2,
+                options=SynthesisOptions(
+                    dedupe_states=True, max_steps=5000, stop_at_first=True
+                ),
+                strict=True,
+            )
+
+
+class TestNonStrictRecordsUnsound:
+    """Without ``strict``, an unsound circuit becomes a recorded
+    failure and the sweep finishes."""
+
+    def test_table23_records_unsound_and_continues(self, monkeypatch):
+        from repro.experiments import table23
+
+        monkeypatch.setattr(
+            Circuit, "implements", lambda self, spec: False
+        )
+        result = table23.run_random_functions(
+            3, 3, SynthesisOptions(dedupe_states=True, max_steps=5000)
+        )
+        assert result.attempted == 3
+        assert result.failures.get("unsound", 0) >= 1
+        assert result.failed == sum(result.failures.values())
+        assert not result.histogram
+
+    def test_table1_records_unsound_and_continues(self, monkeypatch):
+        from repro.experiments import table1
+
+        monkeypatch.setattr(
+            Circuit, "implements", lambda self, spec: False
+        )
+        results = table1.run_table1(sample=2, include_miller=False)
+        ours = results["ours_nct"]
+        assert ours.attempted == 2
+        assert ours.failures.get("unsound", 0) >= 1
+
+    def test_benchmark_records_unsound_count(self, monkeypatch):
+        from repro.benchlib.specs import BenchmarkSpec, benchmark
+        from repro.experiments import table4
+
+        monkeypatch.setattr(
+            BenchmarkSpec, "verify", lambda self, circuit: False
+        )
+        outcome = table4.run_benchmark(
+            benchmark("3_17"),
+            SynthesisOptions(dedupe_states=True, max_steps=5000),
+            use_portfolio=False,
+            strict=False,
+        )
+        assert not outcome.solved
+        assert outcome.unsound_count >= 1
 
     def test_dontcare_driver_detects_bad_circuits(self, monkeypatch):
         from repro.functions import dontcare

@@ -1,0 +1,92 @@
+"""The resumable JSONL checkpoint ledger."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    SweepLedger,
+    TaskOutcome,
+)
+
+
+def _outcome(task_id: str, status: str = "ok") -> TaskOutcome:
+    return TaskOutcome(task_id=task_id, status=status, gate_count=3)
+
+
+class TestLedgerRoundTrip:
+    def test_missing_file_loads_empty(self, tmp_path):
+        ledger = SweepLedger(str(tmp_path / "none.jsonl"), sweep="s")
+        assert ledger.load() == {}
+
+    def test_record_and_load(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa"))
+            ledger.record(_outcome("bbb", "timeout"))
+        loaded = SweepLedger(path, sweep="s").load()
+        assert set(loaded) == {"aaa", "bbb"}
+        assert loaded["bbb"].status == "timeout"
+
+    def test_header_written_once_across_reopens(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa"))
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("bbb"))
+        lines = open(path).read().splitlines()
+        assert len(lines) == 3
+        header = json.loads(lines[0])
+        assert header["schema"] == LEDGER_SCHEMA
+        assert header["version"] == LEDGER_VERSION
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa", "crash"))
+            ledger.record(_outcome("aaa", "ok"))
+        assert SweepLedger(path, sweep="s").load()["aaa"].status == "ok"
+
+
+class TestLedgerSafety:
+    def test_wrong_sweep_name_refused(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="table2:4v"):
+            pass
+        with pytest.raises(ValueError, match="belongs to sweep"):
+            SweepLedger(path, sweep="table3:5v").load()
+
+    def test_non_ledger_file_refused(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(ValueError, match="not a"):
+            SweepLedger(str(path), sweep="s").load()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa"))
+            ledger.record(_outcome("bbb"))
+        with open(path) as handle:
+            content = handle.read()
+        with open(path, "w") as handle:
+            handle.write(content[:-20])  # SIGKILL mid-write
+        loaded = SweepLedger(path, sweep="s").load()
+        assert set(loaded) == {"aaa"}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa"))
+        with open(path, "a") as handle:
+            handle.write("garbage not json\n")
+            handle.write(json.dumps(_outcome("bbb").as_dict()) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            SweepLedger(path, sweep="s").load()
+
+    def test_record_requires_open(self, tmp_path):
+        ledger = SweepLedger(str(tmp_path / "ledger.jsonl"), sweep="s")
+        with pytest.raises(RuntimeError):
+            ledger.record(_outcome("aaa"))

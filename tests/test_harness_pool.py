@@ -1,0 +1,144 @@
+"""Isolated workers: budgets are hard, exits are classified.
+
+These tests fork real subprocesses via the fault-injection probes: one
+that ``os._exit``\\ s without a result, one that sleeps past its wall
+budget, one that allocates past its memory cap, and flaky ones that
+exercise the retry ladder.
+"""
+
+import pytest
+
+from repro.harness import (
+    HarnessConfig,
+    RetryPolicy,
+    WorkerBudget,
+    WorkerPool,
+    permutation_task,
+    probe_task,
+    run_sweep,
+)
+from repro.synth.options import SynthesisOptions
+
+
+def _pool_run(tasks, **kwargs):
+    pool = WorkerPool(**kwargs)
+    return pool.run(tasks)
+
+
+class TestExitClassification:
+    def test_ok_probe(self):
+        [outcome] = _pool_run([probe_task("ok", gate_count=4)])
+        assert outcome.status == "ok"
+        assert outcome.gate_count == 4
+
+    def test_hard_exit_is_crash(self):
+        [outcome] = _pool_run([probe_task("exit", code=13)])
+        assert outcome.status == "crash"
+        assert "exited with code 13" in outcome.error
+
+    def test_unhandled_exception_is_crash_with_traceback(self):
+        [outcome] = _pool_run([probe_task("raise", message="boom")])
+        assert outcome.status == "crash"
+        assert "boom" in outcome.error
+
+    def test_hang_past_wall_budget_is_killed(self):
+        [outcome] = _pool_run(
+            [probe_task("hang", seconds=60)],
+            budget=WorkerBudget(wall_seconds=0.5),
+        )
+        assert outcome.status == "hang"
+        assert "wall budget" in outcome.error
+
+    def test_allocation_past_memory_budget_is_oom(self):
+        [outcome] = _pool_run(
+            [probe_task("oom", mbytes=256)],
+            budget=WorkerBudget(mem_limit_mb=128),
+        )
+        assert outcome.status == "oom"
+
+    def test_allocation_within_budget_completes(self):
+        [outcome] = _pool_run([probe_task("oom", mbytes=16)])
+        assert outcome.status == "ok"
+
+
+class TestPoolScheduling:
+    def test_multiple_jobs_finish_everything(self):
+        tasks = [
+            probe_task("ok", meta={"i": index}, namespace=f"n{index}")
+            for index in range(5)
+        ]
+        outcomes = _pool_run(tasks, jobs=2)
+        assert len(outcomes) == 5
+        assert {o.status for o in outcomes} == {"ok"}
+
+    def test_on_final_fires_per_task(self):
+        seen = []
+        pool = WorkerPool()
+        pool.run(
+            [probe_task("ok"), probe_task("unsolved")],
+            on_final=lambda task, outcome: seen.append(outcome.status),
+        )
+        assert sorted(seen) == ["ok", "unsolved"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0)
+        with pytest.raises(ValueError):
+            WorkerBudget(wall_seconds=0)
+        with pytest.raises(ValueError):
+            WorkerBudget(mem_limit_mb=-1)
+
+
+class TestRetriesInIsolation:
+    def test_flaky_worker_recovers(self):
+        [outcome] = _pool_run(
+            [probe_task("flaky", ok_after=2)],
+            retry=RetryPolicy(max_retries=2),
+        )
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+
+    def test_escalated_steps_unlock_success(self):
+        [outcome] = _pool_run(
+            [probe_task("need_steps", min_steps=40,
+                        options={"max_steps": 10})],
+            retry=RetryPolicy(max_retries=2, step_factor=2.0),
+        )
+        # 10 -> 20 -> 40: solved on the third attempt.
+        assert outcome.status == "ok"
+        assert outcome.attempts == 3
+
+    def test_retries_exhausted_keeps_last_status(self):
+        [outcome] = _pool_run(
+            [probe_task("exit")], retry=RetryPolicy(max_retries=1)
+        )
+        assert outcome.status == "crash"
+        assert outcome.attempts == 2
+
+
+class TestRealSynthesisIsolated:
+    def test_permutation_synthesis_round_trips(self):
+        task = permutation_task(
+            [0, 1, 2, 3, 4, 5, 7, 6],
+            SynthesisOptions(dedupe_states=True, max_steps=5000),
+        )
+        [outcome] = _pool_run([task])
+        assert outcome.status == "ok"
+        assert outcome.gate_count == 1
+        from repro.io.real_format import load_real
+
+        circuit = load_real(outcome.circuit)
+        assert circuit.gate_count() == 1
+
+    def test_isolated_equals_inline(self):
+        options = SynthesisOptions(dedupe_states=True, max_steps=5000)
+        task = permutation_task([1, 0, 3, 2, 5, 4, 7, 6], options)
+        inline = []
+        run_sweep("eq-inline", [task],
+                  on_outcome=lambda t, o: inline.append(o))
+        isolated = []
+        run_sweep("eq-isolated", [task], config=HarnessConfig(isolate=True),
+                  on_outcome=lambda t, o: isolated.append(o))
+        assert inline[0].status == isolated[0].status == "ok"
+        assert inline[0].gate_count == isolated[0].gate_count
+        assert inline[0].circuit == isolated[0].circuit

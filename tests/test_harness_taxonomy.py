@@ -1,0 +1,152 @@
+"""Failure taxonomy, task identities, and the retry ladder."""
+
+import pytest
+
+from repro.harness import (
+    DEFAULT_RETRYABLE,
+    FAILURE_STATUSES,
+    STATUSES,
+    RetryPolicy,
+    Task,
+    TaskOutcome,
+    permutation_task,
+    probe_task,
+    status_from_finish_reason,
+    task_fingerprint,
+)
+
+
+class TestTaxonomy:
+    def test_statuses_cover_the_issue_taxonomy(self):
+        assert set(STATUSES) == {
+            "ok", "unsolved", "timeout", "oom", "crash", "hang",
+            "unsound", "interrupted",
+        }
+        assert "ok" not in FAILURE_STATUSES
+
+    @pytest.mark.parametrize(
+        "reason,solved,expected",
+        [
+            ("solved", True, "ok"),
+            ("identity", True, "ok"),
+            ("timeout", False, "timeout"),
+            ("memory_limit", False, "oom"),
+            ("interrupted", False, "interrupted"),
+            ("queue_exhausted", False, "unsolved"),
+            ("step_limit", False, "unsolved"),
+        ],
+    )
+    def test_finish_reason_mapping(self, reason, solved, expected):
+        assert status_from_finish_reason(reason, solved) == expected
+
+    def test_outcome_rejects_unknown_status(self):
+        with pytest.raises(ValueError):
+            TaskOutcome(task_id="x", status="exploded")
+
+    def test_outcome_round_trips_through_dict(self):
+        outcome = TaskOutcome(
+            task_id="abc", status="timeout", attempts=3,
+            error="deadline", elapsed_seconds=1.5,
+            meta={"index": 4}, extra={"raw_gate_count": 7},
+        )
+        clone = TaskOutcome.from_dict(outcome.as_dict())
+        assert clone == outcome
+        assert clone.failed and not clone.ok
+
+
+class TestTaskIdentity:
+    def test_fingerprint_is_deterministic(self):
+        a = task_fingerprint("probe", {"behavior": "ok"}, {}, "ns")
+        b = task_fingerprint("probe", {"behavior": "ok"}, {}, "ns")
+        assert a == b and len(a) == 16
+
+    def test_fingerprint_depends_on_all_inputs(self):
+        base = task_fingerprint("probe", {"behavior": "ok"}, {}, "ns")
+        assert task_fingerprint("probe", {"behavior": "ok"}, {}, "other") != base
+        assert task_fingerprint("pprm", {"behavior": "ok"}, {}, "ns") != base
+        assert (
+            task_fingerprint("probe", {"behavior": "raise"}, {}, "ns") != base
+        )
+        assert (
+            task_fingerprint("probe", {"behavior": "ok"}, {"max_steps": 5},
+                             "ns") != base
+        )
+
+    def test_meta_does_not_enter_the_id(self):
+        one = probe_task("ok", meta={"index": 1})
+        two = probe_task("ok", meta={"index": 2})
+        assert one.task_id == two.task_id
+
+    def test_same_spec_same_id_across_processes_of_generation(self):
+        first = permutation_task([1, 0, 3, 2], namespace="t")
+        second = permutation_task((1, 0, 3, 2), namespace="t")
+        assert first.task_id == second.task_id
+
+    def test_task_label_prefers_meta(self):
+        task = Task(kind="probe", payload={}, meta={"label": "probe:x"})
+        assert task.label() == "probe:x"
+        assert Task(kind="probe", payload={}).label()
+
+
+class TestRetryPolicy:
+    def test_defaults_exclude_unsound_and_interrupted(self):
+        assert "unsound" not in DEFAULT_RETRYABLE
+        assert "interrupted" not in DEFAULT_RETRYABLE
+
+    def test_should_retry_bounds(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry("crash", 1)
+        assert policy.should_retry("crash", 2)
+        assert not policy.should_retry("crash", 3)
+        assert not policy.should_retry("unsound", 1)
+        assert not RetryPolicy().should_retry("crash", 1)
+
+    def test_escalation_is_stateless_from_base(self):
+        policy = RetryPolicy(max_retries=3, step_factor=2.0,
+                             time_factor=1.5, widen_greedy=2)
+        base = {"max_steps": 100, "time_limit": 10.0, "greedy_k": 3}
+        assert policy.escalate_options(base, 1) == base
+        second = policy.escalate_options(base, 2)
+        assert second == {"max_steps": 200, "time_limit": 15.0, "greedy_k": 5}
+        third = policy.escalate_options(base, 3)
+        assert third["max_steps"] == 400
+        assert third["time_limit"] == pytest.approx(22.5)
+        assert third["greedy_k"] == 7
+        # base never mutated
+        assert base == {"max_steps": 100, "time_limit": 10.0, "greedy_k": 3}
+
+    def test_none_budgets_stay_none(self):
+        policy = RetryPolicy(max_retries=1)
+        options = policy.escalate_options(
+            {"max_steps": None, "time_limit": None, "greedy_k": None}, 3
+        )
+        assert options["max_steps"] is None
+        assert options["time_limit"] is None
+        assert options["greedy_k"] is None
+        assert policy.escalate_wall(None, 3) is None
+        assert policy.escalate_mem(None, 3) is None
+
+    def test_wall_and_mem_escalate(self):
+        policy = RetryPolicy(time_factor=2.0, mem_factor=2.0)
+        assert policy.escalate_wall(4.0, 1) == 4.0
+        assert policy.escalate_wall(4.0, 3) == 16.0
+        assert policy.escalate_mem(100, 2) == 200
+
+    def test_backoff_deterministic_and_jittered(self):
+        policy = RetryPolicy(backoff_seconds=1.0, backoff_jitter=0.5)
+        first = policy.backoff("task-a", 2)
+        assert first == policy.backoff("task-a", 2)
+        assert 0.75 <= first <= 1.25
+        # doubles per attempt, decorrelated across tasks
+        assert policy.backoff("task-a", 3) > first
+        assert policy.backoff("task-b", 2) != first
+        assert policy.backoff("task-a", 1) == 0.0
+        assert RetryPolicy().backoff("task-a", 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(step_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=1.5)

@@ -96,6 +96,33 @@ class TestDeadline:
         watch.restart()
         assert watch.elapsed() == 0.0
 
+    def test_stopwatch_freezes_on_exit(self):
+        now = [0.0]
+        with Stopwatch(clock=lambda: now[0]) as watch:
+            now[0] = 2.5
+        now[0] = 100.0
+        assert watch.elapsed() == 2.5
+        assert watch.stop_time == 2.5
+        assert not watch.running
+
+    def test_stopwatch_stop_is_idempotent(self):
+        now = [0.0]
+        watch = Stopwatch(clock=lambda: now[0])
+        now[0] = 1.0
+        assert watch.stop() == 1.0
+        now[0] = 9.0
+        assert watch.stop() == 1.0
+        assert watch.elapsed() == 1.0
+
+    def test_stopwatch_restart_resumes_ticking(self):
+        now = [0.0]
+        watch = Stopwatch(clock=lambda: now[0])
+        watch.stop()
+        watch.restart()
+        assert watch.running
+        now[0] = 4.0
+        assert watch.elapsed() == 4.0
+
 
 class TestTables:
     def test_basic_table(self):
