@@ -8,18 +8,16 @@ The rendered paper-vs-measured tables print to stdout — run with
 captures and discards passing tests' prints; the committed results/
 directory and EXPERIMENTS.md keep representative renders).
 
-Set ``RMRLS_METRICS_DIR=/some/dir`` to drop one machine-readable JSON
-report per bench run alongside the committed results — wall-clock,
-scale, and environment info in the run-report layout of
-``docs/observability.md`` — so table regenerations can be diffed
-across commits instead of eyeballed.
+Set ``RMRLS_METRICS_DIR=/some/dir`` to drop one machine-readable
+``rmrls-bench-report`` JSON per bench run alongside the committed
+results — wall-clock, git commit, hot-op counter totals, scale, and
+environment info (see docs/benchmarking.md for the schema) — so table
+regenerations can be diffed across commits instead of eyeballed.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import re
 import time
 
 import pytest
@@ -36,42 +34,33 @@ def run_once(benchmark, function, *args, **kwargs):
     )
 
 
-def _write_bench_report(directory: str, nodeid: str, seconds: float) -> None:
-    """Drop one JSON report for this bench run into ``directory``."""
-    from repro.obs.report import environment_info
-
-    os.makedirs(directory, exist_ok=True)
-    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid).strip("_")
-    path = os.path.join(directory, f"{slug}.json")
-    report = {
-        "schema": "rmrls-bench-report",
-        "version": 1,
-        "generated_unix": time.time(),
-        "bench": nodeid,
-        "seconds": seconds,
-        "scale": os.environ.get("REPRO_BENCH_SCALE"),
-        "environment": environment_info(),
-    }
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-
-
 @pytest.fixture
 def once(benchmark, request):
     """Fixture wrapper around :func:`run_once`.
 
     When ``RMRLS_METRICS_DIR`` is set, each run additionally writes a
-    per-run JSON report named after the bench node id.
+    per-run bench report named after the bench node id, via the same
+    writer and schema as ``rmrls bench`` (repro.perf.report).  The
+    hot-op section is the delta of the process-global counters across
+    the run, attributing the wall-clock to search work.
     """
 
     def runner(function, *args, **kwargs):
+        from repro.perf import snapshot_global, write_pytest_bench_report
+
+        before = snapshot_global()
         start = time.perf_counter()
         result = run_once(benchmark, function, *args, **kwargs)
         elapsed = time.perf_counter() - start
         directory = os.environ.get("RMRLS_METRICS_DIR")
         if directory:
-            _write_bench_report(directory, request.node.nodeid, elapsed)
+            write_pytest_bench_report(
+                directory,
+                request.node.nodeid,
+                elapsed,
+                hot_ops=snapshot_global().diff(before).as_dict(),
+                scale=os.environ.get("REPRO_BENCH_SCALE"),
+            )
         return result
 
     return runner

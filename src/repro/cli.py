@@ -6,6 +6,9 @@ Subcommands::
     rmrls synth --benchmark rd53 --draw         # synthesize a benchmark
     rmrls synth --benchmark rd53 --json         # machine-readable report
     rmrls profile --benchmark rd53              # phase-time breakdown
+    rmrls bench --quick                         # micro-benchmark suite
+    rmrls bench --compare BENCH_quick.json      # perf regression gate
+    rmrls trace summarize run.jsonl             # analyze a JSONL trace
     rmrls benchmarks                            # list known benchmarks
     rmrls table1 --sample 100                   # reproduce Table I
     rmrls table2 --sample 20 / table3 --sample 10
@@ -19,6 +22,14 @@ prints one JSON run report to stdout, ``--metrics PATH`` writes the same
 report to a file alongside human output, ``--trace-jsonl PATH`` streams
 every search event as JSON lines, and ``--progress-every N`` prints a
 steps/sec status line to stderr every N steps.
+
+Performance observability (see docs/benchmarking.md): ``rmrls bench``
+times the kernel/workload suite and emits a versioned bench report;
+``--append`` grows a ``BENCH_<workload>.json`` trajectory and
+``--compare`` gates against a baseline with a non-zero exit on
+regression.  ``rmrls trace summarize`` post-processes a
+``--trace-jsonl`` file into substitution frequencies, queue-depth
+percentiles, and the restart timeline.
 """
 
 from __future__ import annotations
@@ -254,6 +265,11 @@ def _cmd_profile(args) -> int:
         print("unsolved within the budget")
     print(f"steps: {stats.steps}   nodes: {stats.nodes_created}   "
           f"time: {stats.elapsed_seconds:.3f}s   ({rate:,.0f} steps/s)")
+    hot = {name: value for name, value in stats.hot_ops.items() if value}
+    if hot:
+        print("hot ops: " + ", ".join(
+            f"{name}={value:,}" for name, value in hot.items()
+        ))
     print()
     print(phases.render())
     for name in ("elim", "children_per_expansion", "queue_size"):
@@ -262,6 +278,97 @@ def _cmd_profile(args) -> int:
             print()
             print(histogram.render())
     return 0 if result.solved else 1
+
+
+def _cmd_bench(args) -> int:
+    """Run the micro-benchmark suite; optionally append to a trajectory
+    and gate against a baseline (see docs/benchmarking.md)."""
+    from repro.perf import (
+        append_to_trajectory,
+        baseline_from_path,
+        compare_reports,
+        render_bench_report,
+        render_comparison,
+        run_bench,
+        trajectory_path,
+        write_bench_report,
+    )
+
+    progress = (
+        None if args.json
+        else (lambda message: print(f"... {message}", file=sys.stderr))
+    )
+    try:
+        report = run_bench(
+            quick=args.quick,
+            kernels=args.kernels,
+            workloads=args.workloads,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            workload_name=args.workload_name,
+            progress=progress,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.output:
+        write_bench_report(report, args.output)
+        if not args.json:
+            print(f"wrote bench report to {args.output}", file=sys.stderr)
+    if args.append:
+        path = trajectory_path(report["workload"], args.append)
+        append_to_trajectory(report, path)
+        if not args.json:
+            print(f"appended to trajectory {path}", file=sys.stderr)
+
+    comparison = None
+    if args.compare:
+        try:
+            baseline = baseline_from_path(args.compare)
+        except ValueError as error:
+            print(f"--compare: {error}", file=sys.stderr)
+            return 2
+        if args.threshold is None:
+            comparison = compare_reports(report, baseline)
+        else:
+            comparison = compare_reports(
+                report, baseline, threshold=args.threshold
+            )
+
+    if args.json:
+        document = dict(report)
+        if comparison is not None:
+            document["comparison"] = comparison.as_dict()
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_bench_report(report))
+        if comparison is not None:
+            print()
+            print(render_comparison(comparison))
+    if comparison is not None and comparison.has_regressions:
+        return 0 if args.warn_only else 1
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    """Summarize a ``--trace-jsonl`` file."""
+    from repro.obs import render_trace_summary, summarize_trace
+
+    try:
+        with open(args.trace) as handle:
+            summary = summarize_trace(handle, top=args.top)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_trace_summary(summary))
+    return 0
 
 
 def _cmd_embed(args) -> int:
@@ -636,6 +743,60 @@ def main(argv: list[str] | None = None) -> int:
                               "the text breakdown")
     _add_option_flags(profile)
     profile.set_defaults(handler=_cmd_profile)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the micro-benchmark suite and emit a versioned "
+             "bench report (see docs/benchmarking.md)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke-test sizes (the whole suite stays "
+                            "well under two minutes)")
+    bench.add_argument("--kernels", metavar="NAMES", default=None,
+                       help="comma-separated kernel names, or 'none' "
+                            "(default: all)")
+    bench.add_argument("--workloads", metavar="NAMES", default=None,
+                       help="comma-separated workload names, or 'none' "
+                            "(default: all)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="override timed repeats per kernel")
+    bench.add_argument("--warmup", type=int, default=None,
+                       help="override warmup runs per kernel")
+    bench.add_argument("--workload-name", metavar="NAME", default=None,
+                       help="label stamped into the report (default: "
+                            "'quick' or 'full')")
+    bench.add_argument("--output", metavar="PATH",
+                       help="write the bench report JSON to PATH")
+    bench.add_argument("--append", metavar="DIR",
+                       help="append the report to DIR/BENCH_<name>.json")
+    bench.add_argument("--compare", metavar="PATH",
+                       help="compare against a baseline: a bench report "
+                            "or a BENCH_*.json trajectory (latest entry)")
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="regression threshold as a fraction "
+                            "(default 0.50 = 50%%)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0")
+    bench.add_argument("--json", action="store_true",
+                       help="print the report (and comparison) as JSON")
+    bench.set_defaults(handler=_cmd_bench)
+
+    trace = commands.add_parser(
+        "trace", help="analyze JSONL search traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="substitution frequencies, queue-depth percentiles, and "
+             "the restart timeline of one --trace-jsonl file",
+    )
+    summarize.add_argument("trace", help="path to a JSONL trace")
+    summarize.add_argument("--top", type=int, default=10,
+                           help="how many substitutions to list "
+                                "(default 10)")
+    summarize.add_argument("--json", action="store_true",
+                           help="print the summary as JSON")
+    summarize.set_defaults(handler=_cmd_trace_summarize)
 
     commands.add_parser(
         "benchmarks", help="list the benchmark suite"

@@ -255,6 +255,14 @@ def run_sweep(
                 registry.counter("sweep_retries_total").inc(
                     outcome.attempts - 1
                 )
+            if not replay:
+                # Hot-op totals shipped back from workers (isolated or
+                # inline); replayed ledger entries did no work this run.
+                for key, value in (
+                    outcome.stats.get("hot_ops") or {}
+                ).items():
+                    if value:
+                        registry.counter(f"hotop_{key}").inc(value)
         if on_outcome is not None:
             on_outcome(task, outcome)
         if config.strict and outcome.status == STATUS_UNSOUND:

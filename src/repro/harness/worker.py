@@ -222,7 +222,17 @@ def execute_payload(
     runner = _RUNNERS.get(kind)
     if runner is None:
         raise ValueError(f"unknown task kind: {kind!r}")
-    return runner(payload, options, attempt)
+    from repro.perf.hotops import snapshot_global
+
+    before = snapshot_global()
+    result = runner(payload, options, attempt)
+    # Meter the whole payload (a portfolio task may synthesize several
+    # times), and ship the totals over the result channel so the
+    # parent sweep can aggregate hot ops across isolated workers.
+    delta = snapshot_global().diff(before)
+    if delta.total() and isinstance(result.get("stats"), dict):
+        result["stats"]["hot_ops"] = delta.as_dict()
+    return result
 
 
 def worker_entry(

@@ -55,6 +55,7 @@ from repro.obs.report import (
     validate_run_report,
     write_run_report,
 )
+from repro.obs.trace_summary import render_trace_summary, summarize_trace
 
 __all__ = [
     "SearchObserver",
@@ -83,4 +84,6 @@ __all__ = [
     "options_as_dict",
     "validate_run_report",
     "write_run_report",
+    "summarize_trace",
+    "render_trace_summary",
 ]

@@ -191,6 +191,54 @@ class MetricsRegistry:
             name: self._metrics[name].as_dict() for name in self.names()
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Merge an :meth:`as_dict` snapshot into this registry.
+
+        The cross-process aggregation primitive: subprocess workers
+        serialize their registries over the result channel and the
+        parent folds them in here.  Counters add; gauges keep the
+        snapshot's last value and the running maximum of maxima;
+        histograms add bucket counts (their bounds must match — a
+        bounds mismatch means two code versions disagree about the
+        metric and is reported loudly rather than merged wrongly).
+        """
+        for name, data in snapshot.items():
+            kind = data.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(data["value"])
+                if data.get("max", 0) > gauge.max_value:
+                    gauge.max_value = data["max"]
+            elif kind == "histogram":
+                histogram = self.histogram(name, data["bounds"])
+                if list(histogram.bounds) != list(data["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bounds mismatch: "
+                        f"{list(histogram.bounds)} vs {data['bounds']}"
+                    )
+                for index, count in enumerate(data["counts"]):
+                    histogram.counts[index] += count
+                histogram.count += data["count"]
+                histogram.total += data["sum"]
+                for extreme, better in (
+                    ("minimum", min), ("maximum", max)
+                ):
+                    value = data["max" if extreme == "maximum" else "min"]
+                    if value is None:
+                        continue
+                    current = getattr(histogram, extreme)
+                    setattr(
+                        histogram,
+                        extreme,
+                        value if current is None else better(current, value),
+                    )
+            else:
+                raise ValueError(
+                    f"snapshot entry {name!r} has unknown kind {kind!r}"
+                )
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -211,8 +259,10 @@ class MetricsObserver(SearchObserver):
     * counters ``search_steps``, ``search_expansions``,
       ``search_children``, ``search_solutions``, ``search_restarts``,
       ``search_pruned_<reason>`` per prune reason,
-      ``search_guard_<kind>`` per guard-rail event, and
-      ``search_finish_<reason>`` per finish reason;
+      ``search_guard_<kind>`` per guard-rail event,
+      ``search_finish_<reason>`` per finish reason, and
+      ``hotop_<name>`` per hot-op counter published from
+      ``stats.hot_ops`` at finish (see :mod:`repro.perf.hotops`);
     * gauges ``search_queue_size`` (current; max tracks the peak) and
       ``search_best_depth`` (best solution depth so far);
     * histograms ``elim`` (terms eliminated per accepted child),
@@ -279,3 +329,6 @@ class MetricsObserver(SearchObserver):
     def on_finish(self, reason, stats):
         self._flush_expansion()
         self.registry.counter(f"search_finish_{reason}").inc()
+        for name, value in getattr(stats, "hot_ops", {}).items():
+            if value:
+                self.registry.counter(f"hotop_{name}").inc(value)

@@ -1,0 +1,294 @@
+"""The regression comparator: current report vs. a baseline.
+
+Comparison happens on the reports' flat ``metrics`` sections.  Each
+metric name determines its *direction*:
+
+* ``..._ns_per_op``, ``..._seconds``, ``..._ns_per_substitution`` —
+  timings, lower is better;
+* ``..._per_s`` — rates, higher is better;
+* anything else (hot-op totals and other counts) — informational:
+  compared and reported, never gated, because operation counts change
+  legitimately whenever the algorithm does.
+
+A gated metric regresses when it is worse than baseline by more than
+the noise threshold (a ratio: ``0.50`` means 50 % worse).  The
+threshold is deliberately generous by micro-benchmark standards —
+same-code re-runs on shared machines were measured swinging ±35 % on
+the fastest kernels, and a gate that cries wolf gets turned off —
+while still catching the 2x-slowdown class of mistake the gate exists
+for with a 50-point margin.  Tighten it (``--threshold 0.2``) on
+dedicated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "Comparison",
+    "metric_direction",
+    "compare_reports",
+    "render_comparison",
+]
+
+#: Default noise threshold (fraction of the baseline value).
+DEFAULT_THRESHOLD = 0.50
+
+#: Verdicts a metric can receive.
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVEMENT = "improvement"
+STATUS_NEW = "new"
+STATUS_MISSING = "missing"
+STATUS_INFO = "info"
+
+_LOWER_IS_BETTER = ("_ns_per_op", "_seconds", "_ns_per_substitution")
+_HIGHER_IS_BETTER = ("_per_s",)
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower"``/``"higher"`` for gated metrics, ``None`` for
+    informational ones."""
+    if name.endswith(_LOWER_IS_BETTER):
+        return "lower"
+    if name.endswith(_HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's verdict.
+
+    ``ratio`` is current/baseline (``None`` when undefined: the metric
+    is new, missing, or the baseline value is zero).  ``change`` is the
+    signed fraction by which the metric moved in the *worse* direction
+    — positive means worse regardless of the metric's polarity, on a
+    factor scale symmetric around zero: a 2x slowdown scores +1.0 and
+    a 2x speedup -1.0, for timings and rates alike.
+    """
+
+    name: str
+    status: str
+    current: float | None = None
+    baseline: float | None = None
+    ratio: float | None = None
+    change: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "current": self.current,
+            "baseline": self.baseline,
+            "ratio": self.ratio,
+            "change": self.change,
+        }
+
+
+@dataclass
+class Comparison:
+    """The full verdict of one report-vs-baseline comparison."""
+
+    threshold: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    baseline_found: bool = True
+    baseline_sha: str | None = None
+    current_sha: str | None = None
+
+    def by_status(self, status: str) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.status == status]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return self.by_status(STATUS_REGRESSION)
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return self.by_status(STATUS_IMPROVEMENT)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def as_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "baseline_found": self.baseline_found,
+            "baseline_sha": self.baseline_sha,
+            "current_sha": self.current_sha,
+            "has_regressions": self.has_regressions,
+            "deltas": [delta.as_dict() for delta in self.deltas],
+        }
+
+
+def _compare_metric(
+    name: str, current: float, baseline: float, threshold: float
+) -> MetricDelta:
+    direction = metric_direction(name)
+    if baseline == 0:
+        # No meaningful ratio: a zero baseline timing is degenerate
+        # (and a zero counter going nonzero is an algorithm change,
+        # not a perf regression).  Report, never gate.
+        return MetricDelta(
+            name=name,
+            status=STATUS_INFO,
+            current=current,
+            baseline=baseline,
+        )
+    ratio = current / baseline
+    if direction is None:
+        return MetricDelta(
+            name=name,
+            status=STATUS_INFO,
+            current=current,
+            baseline=baseline,
+            ratio=ratio,
+        )
+    # Normalize onto a factor scale symmetric around zero where
+    # `change` > 0 always means "worse": a 2x slowdown scores +1.0 and
+    # a 2x speedup -1.0, whether the metric is a timing or a rate.
+    # (The naive `1 - ratio` for rates would score a 2x slowdown +0.5
+    # and land exactly on a 50 % threshold instead of sailing past
+    # it; `ratio - 1` for timings has the mirror problem for
+    # speedups.)
+    if current == 0:
+        # A zero *current* timing/rate is as degenerate as a zero
+        # baseline: no finite factor.  Report, never gate.
+        return MetricDelta(
+            name=name,
+            status=STATUS_INFO,
+            current=current,
+            baseline=baseline,
+            ratio=ratio,
+        )
+    factor = ratio if direction == "lower" else baseline / current
+    change = factor - 1.0 if factor >= 1.0 else 1.0 - 1.0 / factor
+    if change > threshold:
+        status = STATUS_REGRESSION
+    elif change < -threshold:
+        status = STATUS_IMPROVEMENT
+    else:
+        status = STATUS_OK
+    return MetricDelta(
+        name=name,
+        status=status,
+        current=current,
+        baseline=baseline,
+        ratio=ratio,
+        change=change,
+    )
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict | None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Compare two bench reports' metric sections.
+
+    ``baseline`` may be ``None`` (no baseline exists yet): the result
+    carries ``baseline_found=False`` and no deltas — by construction
+    not a regression, so bootstrapping a new trajectory never fails
+    the gate.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    comparison = Comparison(
+        threshold=threshold,
+        baseline_found=baseline is not None,
+        current_sha=(current.get("git") or {}).get("sha"),
+        baseline_sha=(
+            None if baseline is None else (baseline.get("git") or {}).get("sha")
+        ),
+    )
+    if baseline is None:
+        return comparison
+    current_metrics = current.get("metrics") or {}
+    baseline_metrics = baseline.get("metrics") or {}
+    for name in sorted(set(current_metrics) | set(baseline_metrics)):
+        if name not in baseline_metrics:
+            comparison.deltas.append(
+                MetricDelta(
+                    name=name,
+                    status=STATUS_NEW,
+                    current=current_metrics[name],
+                )
+            )
+        elif name not in current_metrics:
+            comparison.deltas.append(
+                MetricDelta(
+                    name=name,
+                    status=STATUS_MISSING,
+                    baseline=baseline_metrics[name],
+                )
+            )
+        else:
+            comparison.deltas.append(
+                _compare_metric(
+                    name,
+                    current_metrics[name],
+                    baseline_metrics[name],
+                    threshold,
+                )
+            )
+    return comparison
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """Human-readable comparison table plus a one-line verdict."""
+    if not comparison.baseline_found:
+        return (
+            "no baseline found — nothing to compare against "
+            "(a fresh trajectory starts with this run)"
+        )
+    lines = [
+        f"comparing against baseline "
+        f"{(comparison.baseline_sha or 'unknown')[:12]} "
+        f"(threshold {comparison.threshold:.0%})",
+        f"  {'metric':<40} {'baseline':>12} {'current':>12} "
+        f"{'change':>8}  verdict",
+    ]
+    order = {
+        STATUS_REGRESSION: 0,
+        STATUS_IMPROVEMENT: 1,
+        STATUS_OK: 2,
+        STATUS_NEW: 3,
+        STATUS_MISSING: 4,
+        STATUS_INFO: 5,
+    }
+    for delta in sorted(
+        comparison.deltas, key=lambda d: (order.get(d.status, 9), d.name)
+    ):
+        change = (
+            "-" if delta.change is None else f"{delta.change:+.1%}"
+        )
+        lines.append(
+            f"  {delta.name:<40} {_fmt(delta.baseline):>12} "
+            f"{_fmt(delta.current):>12} {change:>8}  {delta.status}"
+        )
+    regressions = comparison.regressions
+    if regressions:
+        worst = max(regressions, key=lambda d: d.change or 0)
+        lines.append(
+            f"REGRESSION: {len(regressions)} metric(s) past the "
+            f"{comparison.threshold:.0%} threshold "
+            f"(worst: {worst.name} {worst.change:+.1%})"
+        )
+    else:
+        lines.append(
+            f"no regressions past the {comparison.threshold:.0%} threshold"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Hot-operation counters for the search's innermost loops.
+
+The RMRLS search spends essentially all of its time in four kernels:
+applying PPRM substitutions, hashing states into the duplicate table,
+pushing/popping the priority queue, and re-seeding after restarts.
+:class:`HotOpCounters` counts those operations with plain integer
+attribute increments — cheap enough to stay on unconditionally (the
+measured overhead budget is 5 % on the 3-variable exhaustive workload;
+see ``docs/benchmarking.md``) — so every run can report ns/op and
+ops/sec for its kernels instead of one opaque wall-clock number.
+
+Counters flow outward through three channels:
+
+* ``SearchStats.hot_ops`` — every ``synthesize`` call snapshots its
+  counters into the stats object, so run reports, sweep ledgers, and
+  subprocess workers all carry them for free;
+* the :class:`~repro.obs.metrics.MetricsRegistry` — a
+  ``MetricsObserver`` publishes them as ``hotop_<name>`` counters at
+  ``on_finish``, aggregating across runs sharing a registry;
+* the process-global aggregate (:func:`global_counters`) — benchmark
+  harnesses that drive whole experiment sweeps snapshot it before and
+  after a run (:func:`snapshot_global`, :meth:`HotOpCounters.diff`)
+  without having to thread a collector through every driver.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HOT_OP_FIELDS",
+    "HotOpCounters",
+    "global_counters",
+    "snapshot_global",
+    "reset_global",
+]
+
+#: The counted operations, in reporting order.
+#:
+#: * ``substitutions_applied`` — ``PPRMSystem.substitute`` calls (one
+#:   per candidate evaluated; the dominant kernel);
+#: * ``pprm_terms_in`` / ``pprm_terms_out`` — total terms walked into /
+#:   produced by those substitutions (the XOR workload proxy: a
+#:   substitution rewrites every term of every output once);
+#: * ``queue_pushes`` / ``queue_pops`` — priority-queue traffic;
+#: * ``dedupe_probes`` / ``dedupe_hits`` / ``dedupe_inserts`` —
+#:   duplicate-table lookups, lookups that found a duplicate, and
+#:   completed inserts;
+#: * ``restart_reseeds`` — queue reseeds taken by the Sec. IV-E
+#:   restart heuristic;
+#: * ``restart_dropped_nodes`` — queued nodes discarded by those
+#:   reseeds (the work a restart throws away).
+HOT_OP_FIELDS = (
+    "substitutions_applied",
+    "pprm_terms_in",
+    "pprm_terms_out",
+    "queue_pushes",
+    "queue_pops",
+    "dedupe_probes",
+    "dedupe_hits",
+    "dedupe_inserts",
+    "restart_reseeds",
+    "restart_dropped_nodes",
+)
+
+
+class HotOpCounters:
+    """Plain-integer operation counters (one attribute per hot op).
+
+    Instances are mutable and additive; the search increments the
+    attributes directly (no method-call overhead on the hot path).
+    """
+
+    __slots__ = HOT_OP_FIELDS
+
+    def __init__(self, **initial: int):
+        for name in HOT_OP_FIELDS:
+            setattr(self, name, 0)
+        for name, value in initial.items():
+            if name not in HOT_OP_FIELDS:
+                raise TypeError(f"unknown hot-op counter: {name!r}")
+            setattr(self, name, int(value))
+
+    # -- aggregation -----------------------------------------------------
+
+    def merge(self, other: "HotOpCounters") -> None:
+        """Add ``other``'s counts into this instance."""
+        for name in HOT_OP_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def merge_dict(self, snapshot: dict) -> None:
+        """Add an :meth:`as_dict` snapshot (unknown keys are ignored,
+        so newer producers can ship counters older consumers lack)."""
+        for name in HOT_OP_FIELDS:
+            value = snapshot.get(name)
+            if value:
+                setattr(self, name, getattr(self, name) + int(value))
+
+    def diff(self, earlier: "HotOpCounters") -> "HotOpCounters":
+        """Return the counts accumulated since ``earlier`` (a snapshot
+        of the same counter object taken before some work)."""
+        return HotOpCounters(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in HOT_OP_FIELDS
+        })
+
+    def copy(self) -> "HotOpCounters":
+        """Return an independent snapshot of the current counts."""
+        return HotOpCounters(**self.as_dict())
+
+    # -- views -----------------------------------------------------------
+
+    def total(self) -> int:
+        """Sum of all counters (a quick is-anything-nonzero check)."""
+        return sum(getattr(self, name) for name in HOT_OP_FIELDS)
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot, in :data:`HOT_OP_FIELDS` order."""
+        return {name: getattr(self, name) for name in HOT_OP_FIELDS}
+
+    def publish(self, registry, prefix: str = "hotop_") -> None:
+        """Add the counts into ``registry`` as ``<prefix><name>``
+        counters (zero-valued counters are skipped: a run that never
+        restarted should not manufacture a restart metric)."""
+        for name in HOT_OP_FIELDS:
+            value = getattr(self, name)
+            if value:
+                registry.counter(prefix + name).inc(value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HotOpCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in HOT_OP_FIELDS
+            if getattr(self, name)
+        )
+        return f"HotOpCounters({parts})"
+
+
+#: Process-wide aggregate; every finished search merges into it.
+_GLOBAL = HotOpCounters()
+
+
+def global_counters() -> HotOpCounters:
+    """The live process-wide aggregate (mutated by every search)."""
+    return _GLOBAL
+
+
+def snapshot_global() -> HotOpCounters:
+    """An immutable-by-convention copy of the global aggregate; pair
+    with :meth:`HotOpCounters.diff` to meter a block of work."""
+    return _GLOBAL.copy()
+
+
+def reset_global() -> None:
+    """Zero the global aggregate (tests only — concurrent meterers
+    would lose their baselines)."""
+    for name in HOT_OP_FIELDS:
+        setattr(_GLOBAL, name, 0)

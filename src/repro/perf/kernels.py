@@ -1,0 +1,342 @@
+"""The micro-benchmark suite: search kernels and fixed workloads.
+
+Two granularities, matching how perf regressions actually appear:
+
+* **kernels** — the isolated inner-loop operations the search lives in
+  (PPRM substitution, expansion XOR, state hashing/dedup, priority-
+  queue churn, candidate enumeration), each timed over a fixed,
+  deterministic input so runs are comparable across commits;
+* **workloads** — short end-to-end syntheses (a 3-variable exhaustive
+  slice, the rd53-class benchmark, one scalability probe) whose
+  wall-clock is paired with the hot-op counters, yielding derived
+  ns/substitution and steps/sec figures.
+
+Everything here is seeded and budgeted: a given (kernel, quick-flag)
+pair performs an identical operation sequence on every machine, so the
+only variable in a BENCH trajectory is the hardware and the code.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.perf.hotops import snapshot_global
+from repro.perf.timing import TimingResult, time_callable
+
+__all__ = [
+    "KERNELS",
+    "WORKLOADS",
+    "kernel_names",
+    "workload_names",
+    "run_kernel",
+    "run_workload",
+]
+
+#: Seed for every stochastic fixture below (fixed: bench inputs are
+#: part of the measurement contract).
+_SEED = 0xBE7C4
+
+
+def _fixture_system(num_vars: int = 5, seed: int = _SEED):
+    """A mid-search-looking PPRM system: a seeded random permutation's
+    expansion, dense enough to exercise the term-rewrite loops."""
+    from repro.functions.permutation import Permutation
+
+    rng = random.Random(seed + num_vars)
+    images = list(range(1 << num_vars))
+    rng.shuffle(images)
+    return Permutation(images).to_pprm()
+
+
+def _fixture_candidates(system, limit: int | None = None):
+    from repro.synth.options import SynthesisOptions
+    from repro.synth.substitutions import enumerate_substitutions
+
+    candidates = enumerate_substitutions(system, SynthesisOptions())
+    return candidates if limit is None else candidates[:limit]
+
+
+def _fixture_child_systems(count: int):
+    """Distinct systems one substitution away from the fixture root
+    (the dedupe table's actual key population)."""
+    system = _fixture_system()
+    children = []
+    for candidate in _fixture_candidates(system):
+        children.append(system.substitute(candidate.target, candidate.factor))
+        if len(children) >= count:
+            break
+    index = 0
+    while len(children) < count:
+        base = children[index]
+        for candidate in _fixture_candidates(base, limit=4):
+            children.append(base.substitute(candidate.target, candidate.factor))
+            if len(children) >= count:
+                break
+        index += 1
+    return children[:count]
+
+
+# -- kernel bodies -------------------------------------------------------
+
+
+def _kernel_pprm_substitute(quick: bool):
+    system = _fixture_system()
+    candidates = _fixture_candidates(system)
+    rounds = 4 if quick else 16
+
+    def body():
+        for _ in range(rounds):
+            for candidate in candidates:
+                system.substitute(candidate.target, candidate.factor)
+
+    return body, rounds * len(candidates)
+
+
+def _kernel_expansion_xor(quick: bool):
+    system = _fixture_system(num_vars=6)
+    outputs = system.outputs
+    pairs = [
+        (outputs[i], outputs[j])
+        for i in range(len(outputs))
+        for j in range(len(outputs))
+        if i != j
+    ]
+    rounds = 32 if quick else 128
+
+    def body():
+        for _ in range(rounds):
+            for left, right in pairs:
+                _ = left ^ right
+
+    return body, rounds * len(pairs)
+
+
+def _kernel_dedupe_probe(quick: bool):
+    population = _fixture_child_systems(64 if quick else 256)
+    rounds = 8 if quick else 16
+
+    def body():
+        table: dict = {}
+        for _ in range(rounds):
+            for depth, system in enumerate(population):
+                known = table.get(system)
+                if known is None or depth < known:
+                    table[system] = depth
+
+    return body, rounds * len(population)
+
+
+def _kernel_queue_churn(quick: bool):
+    from repro.synth.priority import MaxPriorityQueue
+
+    class _Stub:
+        __slots__ = ("priority",)
+
+        def __init__(self, priority):
+            self.priority = priority
+
+    rng = random.Random(_SEED)
+    nodes = [_Stub(rng.random() * 8 - 2) for _ in range(512 if quick else 2048)]
+
+    def body():
+        queue = MaxPriorityQueue()
+        for node in nodes:
+            queue.push(node)
+        while not queue.is_empty():
+            queue.pop()
+
+    return body, 2 * len(nodes)
+
+
+def _kernel_enumerate(quick: bool):
+    from repro.synth.options import SynthesisOptions
+    from repro.synth.substitutions import enumerate_substitutions
+
+    systems = _fixture_child_systems(8 if quick else 32)
+    options = SynthesisOptions()
+    rounds = 8 if quick else 16
+
+    def body():
+        for _ in range(rounds):
+            for system in systems:
+                enumerate_substitutions(system, options)
+
+    return body, rounds * len(systems)
+
+
+#: name -> factory(quick) -> (callable, ops_per_call)
+KERNELS = {
+    "pprm_substitute": _kernel_pprm_substitute,
+    "expansion_xor": _kernel_expansion_xor,
+    "dedupe_probe": _kernel_dedupe_probe,
+    "queue_churn": _kernel_queue_churn,
+    "enumerate_substitutions": _kernel_enumerate,
+}
+
+
+def kernel_names() -> list[str]:
+    return list(KERNELS)
+
+
+def run_kernel(
+    name: str, *, quick: bool = False, repeats: int | None = None,
+    warmup: int | None = None,
+) -> TimingResult:
+    """Time one named kernel; see :func:`repro.perf.timing.time_callable`."""
+    factory = KERNELS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown kernel {name!r}; known: {', '.join(KERNELS)}"
+        )
+    body, ops = factory(quick)
+    if repeats is None:
+        repeats = 7 if quick else 9
+    if warmup is None:
+        warmup = 2
+    return time_callable(name, body, ops=ops, repeats=repeats, warmup=warmup)
+
+
+# -- workloads -----------------------------------------------------------
+
+
+def _workload_exhaustive3(quick: bool):
+    """A deterministic slice of the Table I sweep: synthesize seeded
+    random 3-variable permutations back to back."""
+    from repro.functions.permutation import Permutation
+    from repro.synth.rmrls import synthesize
+
+    rng = random.Random(_SEED)
+    specs = []
+    for _ in range(12 if quick else 60):
+        images = list(range(8))
+        rng.shuffle(images)
+        specs.append(Permutation(images))
+    # A hard step cap (not stop_at_first) keeps the per-permutation
+    # work identical across runs: the search always burns the same
+    # step budget proving optimality, so timings compare cleanly.
+    max_steps = 400 if quick else 2_000
+
+    def body():
+        solved = 0
+        steps = 0
+        for spec in specs:
+            result = synthesize(
+                spec, max_steps=max_steps, dedupe_states=True
+            )
+            solved += result.solved
+            steps += result.stats.steps
+        return {"functions": len(specs), "solved": solved, "steps": steps}
+
+    return body
+
+
+def _workload_rd53(quick: bool):
+    """The rd53-class benchmark under the paper's greedy heuristics,
+    step-capped so the workload is identical whether or not it solves."""
+    from repro.benchlib.specs import benchmark
+    from repro.synth.rmrls import synthesize
+
+    system = benchmark("rd53").pprm()
+    max_steps = 1_500 if quick else 6_000
+
+    def body():
+        result = synthesize(
+            system, greedy_k=3, restart_steps=1_000, max_steps=max_steps,
+            dedupe_states=True, stop_at_first=True,
+        )
+        return {
+            "solved": result.solved,
+            "steps": result.stats.steps,
+            "gate_count": result.gate_count,
+        }
+
+    return body
+
+
+def _workload_scalability_probe(quick: bool):
+    """One Sec. V-E-style probe: resynthesize a seeded random cascade
+    on 8 lines.  The search runs to its hard step cap (no
+    ``stop_at_first``) so every run performs the same amount of work —
+    a first-solution exit would finish in microseconds and make the
+    wall-clock metric meaningless for the regression gate."""
+    from repro.circuits.random_circuits import random_circuit
+    from repro.synth.rmrls import synthesize
+
+    generator = random_circuit(8, 20, random.Random(_SEED))
+    system = generator.to_pprm()
+    max_steps = 200 if quick else 1_000
+
+    def body():
+        result = synthesize(
+            system, greedy_k=3, restart_steps=5_000, max_steps=max_steps,
+        )
+        return {
+            "solved": result.solved,
+            "steps": result.stats.steps,
+            "gate_count": result.gate_count,
+        }
+
+    return body
+
+
+#: name -> factory(quick) -> zero-arg callable returning a summary dict.
+WORKLOADS = {
+    "exhaustive3": _workload_exhaustive3,
+    "rd53": _workload_rd53,
+    "scalability_probe": _workload_scalability_probe,
+}
+
+
+def workload_names() -> list[str]:
+    return list(WORKLOADS)
+
+
+def run_workload(
+    name: str, *, quick: bool = False, repeats: int | None = None,
+) -> dict:
+    """Run one workload ``repeats`` times; return its summary section.
+
+    The summary pairs the best (minimum) wall-clock with the hot-op
+    counters of one repetition, from which the derived per-op figures
+    (``ns_per_substitution``, ``steps_per_s``, ...) are computed.
+    """
+    factory = WORKLOADS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+        )
+    body = factory(quick)
+    if repeats is None:
+        repeats = 2 if quick else 3
+    import time as _time
+
+    seconds = []
+    summary = None
+    hot_ops = None
+    for _ in range(repeats):
+        before = snapshot_global()
+        start = _time.perf_counter()
+        summary = body()
+        elapsed = _time.perf_counter() - start
+        seconds.append(elapsed)
+        delta = snapshot_global().diff(before)
+        # Deterministic workloads do identical hot ops every repeat;
+        # keep the counters of the fastest one (paired with its time).
+        if hot_ops is None or elapsed <= min(seconds):
+            hot_ops = delta
+    best = min(seconds)
+    section = {
+        "name": name,
+        "repeats": repeats,
+        "seconds": best,
+        "samples_seconds": [round(s, 9) for s in seconds],
+        "summary": summary,
+        "hot_ops": hot_ops.as_dict(),
+    }
+    steps = (summary or {}).get("steps")
+    if steps:
+        section["steps_per_s"] = steps / best
+    substitutions = hot_ops.substitutions_applied
+    if substitutions:
+        section["ns_per_substitution"] = best / substitutions * 1e9
+    return section

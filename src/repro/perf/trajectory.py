@@ -1,0 +1,123 @@
+"""``BENCH_<workload>.json`` — the versioned performance trajectory.
+
+A trajectory file is an append-only history of bench reports for one
+workload, kept at the repository root and committed alongside the code
+it measures.  Each append records the full report (git SHA included),
+so the file *is* the performance history: plot it, diff it, or hand
+its latest entry to ``rmrls bench --compare`` as the regression
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.perf.report import (
+    bench_slug,
+    validate_bench_report,
+)
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "TRAJECTORY_VERSION",
+    "trajectory_path",
+    "load_trajectory",
+    "append_to_trajectory",
+    "latest_entry",
+    "baseline_from_path",
+]
+
+TRAJECTORY_SCHEMA = "rmrls-bench-trajectory"
+TRAJECTORY_VERSION = 1
+
+
+def trajectory_path(workload: str, directory: str = ".") -> str:
+    """The conventional file path for one workload's history."""
+    return os.path.join(directory, f"BENCH_{bench_slug(workload)}.json")
+
+
+def _empty(workload: str) -> dict:
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "version": TRAJECTORY_VERSION,
+        "workload": workload,
+        "entries": [],
+    }
+
+
+def load_trajectory(path: str) -> dict:
+    """Load and structurally check a trajectory file.
+
+    Raises :class:`ValueError` on malformed documents; a missing file
+    is an error too (callers decide whether absence is acceptable —
+    see :func:`baseline_from_path`).
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if document.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: schema is {document.get('schema')!r}, want "
+            f"{TRAJECTORY_SCHEMA!r}"
+        )
+    if document.get("version") != TRAJECTORY_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {document.get('version')!r}"
+        )
+    if not isinstance(document.get("entries"), list):
+        raise ValueError(f"{path}: entries must be a list")
+    return document
+
+
+def append_to_trajectory(report: dict, path: str) -> dict:
+    """Append one validated report to the trajectory at ``path``.
+
+    Creates the file when absent; the workload recorded in the file
+    must match the report's.  Returns the updated document.
+    """
+    validate_bench_report(report)
+    if os.path.exists(path):
+        document = load_trajectory(path)
+        if document["workload"] != report["workload"]:
+            raise ValueError(
+                f"{path} tracks workload {document['workload']!r}, "
+                f"not {report['workload']!r}"
+            )
+    else:
+        document = _empty(report["workload"])
+    document["entries"].append(report)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return document
+
+
+def latest_entry(document: dict) -> dict | None:
+    """The most recent report in a trajectory (``None`` when empty)."""
+    entries = document.get("entries") or []
+    return entries[-1] if entries else None
+
+
+def baseline_from_path(path: str) -> dict | None:
+    """Resolve a ``--compare`` argument into a baseline report.
+
+    Accepts either a trajectory file (its latest entry is the
+    baseline) or a single bench report.  Returns ``None`` — "no
+    baseline, nothing to gate" — for a missing file or an empty
+    trajectory; raises :class:`ValueError` for files that exist but
+    parse as neither document kind.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not JSON ({error})") from None
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if document.get("schema") == TRAJECTORY_SCHEMA:
+        return latest_entry(load_trajectory(path))
+    return validate_bench_report(document)

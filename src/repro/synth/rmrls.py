@@ -35,6 +35,7 @@ from repro.obs.observer import (
     StatsObserver,
     TraceObserver,
 )
+from repro.perf.hotops import HotOpCounters, global_counters
 from repro.pprm.system import PPRMSystem
 from repro.synth.node import SearchNode
 from repro.synth.options import SynthesisOptions
@@ -116,6 +117,9 @@ class _Search:
             observers[0] if len(observers) == 1 else MultiObserver(observers)
         )
         self.phases = options.phase_timer
+        # Always-on hot-operation counters (plain integer adds; the
+        # measured overhead budget is 5 % — see docs/benchmarking.md).
+        self.hot = HotOpCounters()
         self.timed_step = False
         self.deadline = Deadline(options.time_limit)
         self.queue = MaxPriorityQueue()
@@ -154,9 +158,11 @@ class _Search:
         """Execute the Fig. 4 loop; return the best solution node."""
         observer = self.observer
         if self.system.is_identity():
+            self._seal_hot_ops()
             observer.on_finish("identity", self.stats)
             return self.root
         self.queue.push(self.root)
+        self.hot.queue_pushes += 1
         observer.on_queue(len(self.queue))
         try:
             reason = self._loop()
@@ -165,8 +171,16 @@ class _Search:
             # "interrupted", best solution so far) instead of a lost
             # run; sweep drivers check ``stats.interrupted`` to stop.
             reason = "interrupted"
+        self._seal_hot_ops()
         observer.on_finish(reason, self.stats)
         return self.best_node
+
+    def _seal_hot_ops(self) -> None:
+        """Snapshot the hot-op counters into the stats (so reports and
+        subprocess workers carry them) and the process-global aggregate
+        (so sweep harnesses can meter whole runs)."""
+        self.stats.hot_ops = self.hot.as_dict()
+        global_counters().merge(self.hot)
 
     def _memory_guard_tripped(self) -> bool:
         """True when a node-count or queue-size cap has been exceeded."""
@@ -226,6 +240,7 @@ class _Search:
                 phases.add("queue", clock() - start)
             else:
                 parent = self.queue.pop()
+            self.hot.queue_pops += 1
             observer.on_step(step + 1, parent, len(self.queue))
             if parent.depth >= self.best_depth - 1:
                 observer.on_prune(parent, PRUNE_DEPTH)
@@ -251,34 +266,47 @@ class _Search:
         evaluated: list[tuple] = []
         any_decreasing = False
         depth = parent.depth + 1
-        for candidate in candidates:
-            if phases is None:
-                child_system = parent.pprm.substitute(
-                    candidate.target, candidate.factor
-                )
-                terms = child_system.term_count()
-            else:
-                start = clock()
-                child_system = parent.pprm.substitute(
-                    candidate.target, candidate.factor
-                )
-                terms = child_system.term_count()
-                phases.add("substitute", clock() - start)
-            elim = parent.terms - terms
-            if child_system.is_identity():
-                if depth < self.best_depth:
-                    child = self._make_child(
-                        parent, candidate, child_system, terms, elim, 0.0
+        hot = self.hot
+        # Hot-op accounting is batched through local ints and flushed
+        # once per expansion: per-candidate slot increments cost ~3% of
+        # the whole search (see docs/benchmarking.md).
+        applied = 0
+        terms_out = 0
+        try:
+            for candidate in candidates:
+                if phases is None:
+                    child_system = parent.pprm.substitute(
+                        candidate.target, candidate.factor
                     )
-                    self.best_depth = depth
-                    self.best_node = child
-                    observer.on_solution(child, parent)
-                    if options.stop_at_first:
-                        return
-                continue
-            if elim > 0:
-                any_decreasing = True
-            evaluated.append((candidate, child_system, terms, elim))
+                    terms = child_system.term_count()
+                else:
+                    start = clock()
+                    child_system = parent.pprm.substitute(
+                        candidate.target, candidate.factor
+                    )
+                    terms = child_system.term_count()
+                    phases.add("substitute", clock() - start)
+                applied += 1
+                terms_out += terms
+                elim = parent.terms - terms
+                if child_system.is_identity():
+                    if depth < self.best_depth:
+                        child = self._make_child(
+                            parent, candidate, child_system, terms, elim, 0.0
+                        )
+                        self.best_depth = depth
+                        self.best_node = child
+                        observer.on_solution(child, parent)
+                        if options.stop_at_first:
+                            return
+                    continue
+                if elim > 0:
+                    any_decreasing = True
+                evaluated.append((candidate, child_system, terms, elim))
+        finally:
+            hot.substitutions_applied += applied
+            hot.pprm_terms_in += applied * parent.terms
+            hot.pprm_terms_out += terms_out
 
         # children grouped per target variable for greedy pruning
         per_variable: dict[int, list[SearchNode]] = {}
@@ -301,9 +329,11 @@ class _Search:
                     observer.on_prune(parent, PRUNE_LOWER_BOUND)
                     continue
             if self.visited is not None:
+                hot.dedupe_probes += 1
                 if phases is None:
                     known_depth = self.visited.get(child_system)
                     if known_depth is not None and known_depth <= depth:
+                        hot.dedupe_hits += 1
                         continue
                     self._visited_record(known_depth, child_system, depth)
                 else:
@@ -314,6 +344,7 @@ class _Search:
                         self._visited_record(known_depth, child_system, depth)
                     phases.add("dedupe", clock() - start)
                     if duplicate:
+                        hot.dedupe_hits += 1
                         continue
             priority_elim = (
                 self.stats.initial_terms - terms
@@ -350,6 +381,7 @@ class _Search:
                     start = clock()
                     self.queue.push(child)
                     phases.add("queue", clock() - start)
+                hot.queue_pushes += 1
                 pushed = True
         if pushed:
             # One callback per expansion: the queue only grows while a
@@ -375,6 +407,7 @@ class _Search:
         ):
             self.observer.on_guard(GUARD_VISITED_OVERFLOW)
             return
+        self.hot.dedupe_inserts += 1
         self.visited[child_system] = depth
 
     def _make_child(
@@ -426,14 +459,21 @@ class _Search:
             return False
         seed = ordered[self.next_restart_index]
         self.next_restart_index += 1
+        hot = self.hot
         if seed.pprm is None:
             # Already expanded on a previous pass; recompute its system
             # from the root (the root keeps its PPRM precisely for this).
             seed.pprm = self.root.pprm.substitute(seed.target, seed.factor)
+            hot.substitutions_applied += 1
+            hot.pprm_terms_in += self.root.terms
+            hot.pprm_terms_out += seed.terms
+        hot.restart_reseeds += 1
+        hot.restart_dropped_nodes += len(self.queue)
         self.queue.clear()
         # Queue-size gauges must see the clear, not just the pushes.
         self.observer.on_queue(0)
         self.queue.push(seed)
+        hot.queue_pushes += 1
         self.observer.on_queue(len(self.queue))
         self.steps_since_restart = 0
         self.observer.on_restart(seed, len(self.queue))

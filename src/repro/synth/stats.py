@@ -34,6 +34,9 @@ class SearchStats:
     interrupted: bool = False
     visited_overflows: int = 0
     finish_reason: str = ""
+    # Hot-operation totals (see repro.perf.hotops), snapshotted from
+    # the search's always-on counters just before on_finish fires.
+    hot_ops: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """Return a plain-dict view for report serialization.

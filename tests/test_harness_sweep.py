@@ -122,6 +122,66 @@ class TestMetricsIntegration:
         assert snapshot["sweep_tasks_total"]["value"] == 5
         assert snapshot["sweep_retries_total"]["value"] >= 1
 
+    def test_hotops_aggregated_inline_and_isolated(self):
+        import random
+
+        from repro.harness.tasks import permutation_task
+        from repro.synth.options import SynthesisOptions
+
+        rng = random.Random(7)
+        options = SynthesisOptions(max_steps=2_000)
+        tasks = []
+        for index in range(2):
+            images = list(range(8))
+            rng.shuffle(images)
+            tasks.append(permutation_task(
+                images, options=options, namespace=f"t:{index}"
+            ))
+
+        inline = MetricsRegistry()
+        run_sweep("hot", tasks, config=HarnessConfig(metrics=inline))
+        inline_subs = inline.counter("hotop_substitutions_applied").value
+        assert inline_subs > 0
+        assert inline.counter("hotop_queue_pops").value > 0
+
+        isolated = MetricsRegistry()
+        run_sweep(
+            "hot", tasks,
+            config=HarnessConfig(metrics=isolated, isolate=True, jobs=2),
+        )
+        # Hot-op totals cross the subprocess result channel losslessly.
+        assert isolated.counter(
+            "hotop_substitutions_applied"
+        ).value == inline_subs
+
+    def test_hotops_not_recounted_on_replay(self, tmp_path):
+        import random
+
+        from repro.harness.tasks import permutation_task
+        from repro.synth.options import SynthesisOptions
+
+        rng = random.Random(7)
+        images = list(range(8))
+        rng.shuffle(images)
+        task = permutation_task(
+            images, options=SynthesisOptions(max_steps=2_000),
+            namespace="replay",
+        )
+        ledger = str(tmp_path / "ledger.jsonl")
+
+        first = MetricsRegistry()
+        run_sweep("hot", [task],
+                  config=HarnessConfig(metrics=first, ledger_path=ledger))
+        assert first.counter("hotop_substitutions_applied").value > 0
+
+        second = MetricsRegistry()
+        report = run_sweep(
+            "hot", [task],
+            config=HarnessConfig(metrics=second, ledger_path=ledger),
+        )
+        assert report.replayed == 1
+        assert second.get("hotop_substitutions_applied") is None
+
     def test_build_sweep_report_document(self):
         registry = MetricsRegistry()
         report = run_sweep(

@@ -164,3 +164,84 @@ class TestMetricsObserver:
             if registry.get(f"search_pruned_{reason}") is not None
         )
         assert depth_total == result.stats.nodes_pruned_depth
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(3)
+        target = MetricsRegistry()
+        target.counter("c").inc(2)
+        target.merge_snapshot(source.as_dict())
+        assert target.counter("c").value == 5
+
+    def test_gauges_take_value_and_max_of_maxima(self):
+        source = MetricsRegistry()
+        source.gauge("g").set(10)
+        source.gauge("g").set(4)
+        target = MetricsRegistry()
+        target.gauge("g").set(6)
+        target.merge_snapshot(source.as_dict())
+        assert target.gauge("g").value == 4
+        assert target.gauge("g").max_value == 10
+
+    def test_histograms_add_counts_and_extremes(self):
+        bounds = (1, 4, 16)
+        source = MetricsRegistry()
+        source.histogram("h", bounds).observe(2)
+        source.histogram("h").observe(100)
+        target = MetricsRegistry()
+        target.histogram("h", bounds).observe(0)
+        target.merge_snapshot(source.as_dict())
+        merged = target.histogram("h")
+        assert merged.count == 3
+        assert merged.total == 102
+        assert merged.minimum == 0
+        assert merged.maximum == 100
+        assert merged.counts == [1, 1, 0, 1]
+
+    def test_histogram_into_empty_registry(self):
+        source = MetricsRegistry()
+        source.histogram("h", (1, 2)).observe(1)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.as_dict())
+        assert target.histogram("h").count == 1
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        source = MetricsRegistry()
+        source.histogram("h", (1, 2)).observe(1)
+        target = MetricsRegistry()
+        target.histogram("h", (1, 2, 3))
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            target.merge_snapshot(source.as_dict())
+
+    def test_unknown_kind_rejected(self):
+        target = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            target.merge_snapshot({"x": {"kind": "summary"}})
+
+    def test_roundtrip_equivalence(self):
+        # Merging a registry's snapshot into a fresh registry must
+        # reproduce the original snapshot exactly.
+        source = MetricsRegistry()
+        source.counter("c").inc(7)
+        source.gauge("g").set(3)
+        source.histogram("h", (1, 10)).observe(5)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.as_dict())
+        assert target.as_dict() == source.as_dict()
+
+
+class TestHotOpPublication:
+    def test_hotop_counters_published_at_finish(self):
+        observer = MetricsObserver()
+        result = synthesize(
+            Permutation([1, 0, 3, 2, 5, 7, 4, 6]),
+            SynthesisOptions(observers=(observer,)),
+        )
+        registry = observer.registry
+        for name, value in result.stats.hot_ops.items():
+            if value:
+                assert registry.counter(f"hotop_{name}").value == value
+            else:
+                assert registry.get(f"hotop_{name}") is None

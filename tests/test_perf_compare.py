@@ -1,0 +1,201 @@
+"""Regression-gate comparator edge cases: empty/missing baselines,
+appearing and disappearing metrics, zero baselines, and deltas on
+either side of the threshold."""
+
+import pytest
+
+from repro.perf.compare import (
+    DEFAULT_THRESHOLD,
+    compare_reports,
+    metric_direction,
+    render_comparison,
+)
+
+
+def report_with(metrics, sha="abc123"):
+    return {
+        "schema": "rmrls-bench-report",
+        "version": 2,
+        "workload": "quick",
+        "git": {"sha": sha, "dirty": False},
+        "metrics": metrics,
+    }
+
+
+class TestMetricDirection:
+    def test_lower_is_better_suffixes(self):
+        assert metric_direction("kernel_x_ns_per_op") == "lower"
+        assert metric_direction("workload_y_seconds") == "lower"
+        assert metric_direction("workload_y_ns_per_substitution") == "lower"
+
+    def test_higher_is_better_suffixes(self):
+        assert metric_direction("workload_y_steps_per_s") == "higher"
+
+    def test_counters_are_informational(self):
+        assert metric_direction("hotop_queue_pops") is None
+        assert metric_direction("bench_gate_count") is None
+
+
+class TestMissingBaseline:
+    def test_none_baseline_never_regresses(self):
+        comparison = compare_reports(report_with({"a_seconds": 1.0}), None)
+        assert not comparison.baseline_found
+        assert not comparison.has_regressions
+        assert comparison.deltas == []
+
+    def test_render_mentions_missing_baseline(self):
+        comparison = compare_reports(report_with({"a_seconds": 1.0}), None)
+        assert "no baseline" in render_comparison(comparison).lower()
+
+
+class TestEmptyBaseline:
+    def test_empty_metrics_all_new(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 1.0, "b_per_s": 5.0}),
+            report_with({}),
+        )
+        assert not comparison.has_regressions
+        assert {d.status for d in comparison.deltas} == {"new"}
+
+    def test_baseline_without_metrics_key(self):
+        baseline = report_with({})
+        del baseline["metrics"]
+        comparison = compare_reports(
+            report_with({"a_seconds": 1.0}), baseline
+        )
+        assert [d.status for d in comparison.deltas] == ["new"]
+
+
+class TestAsymmetricMetrics:
+    def test_new_metric_reported_not_gated(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 1.0, "fresh_seconds": 9.0}),
+            report_with({"a_seconds": 1.0}),
+        )
+        (new,) = comparison.by_status("new")
+        assert new.name == "fresh_seconds"
+        assert new.current == 9.0 and new.baseline is None
+        assert not comparison.has_regressions
+
+    def test_disappearing_metric_reported_not_gated(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 1.0}),
+            report_with({"a_seconds": 1.0, "gone_seconds": 2.0}),
+        )
+        (missing,) = comparison.by_status("missing")
+        assert missing.name == "gone_seconds"
+        assert missing.baseline == 2.0 and missing.current is None
+        assert not comparison.has_regressions
+
+
+class TestZeroBaseline:
+    def test_zero_baseline_is_informational(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 5.0}),
+            report_with({"a_seconds": 0.0}),
+        )
+        (delta,) = comparison.deltas
+        assert delta.status == "info"
+        assert delta.ratio is None
+        assert not comparison.has_regressions
+
+
+class TestThreshold:
+    def test_inside_threshold_is_ok(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 1.25}),
+            report_with({"a_seconds": 1.0}),
+        )
+        (delta,) = comparison.deltas
+        assert delta.status == "ok"
+        assert delta.change == pytest.approx(0.25)
+
+    def test_past_threshold_regresses(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 2.0}),
+            report_with({"a_seconds": 1.0}),
+        )
+        (delta,) = comparison.deltas
+        assert delta.status == "regression"
+        assert delta.change == pytest.approx(1.0)
+        assert comparison.has_regressions
+
+    def test_rate_metric_regresses_downward(self):
+        # A halved rate is a 2x slowdown and must score +1.0, the same
+        # as a doubled timing — not the naive 1 - ratio = +0.5.
+        comparison = compare_reports(
+            report_with({"a_per_s": 50.0}),
+            report_with({"a_per_s": 100.0}),
+        )
+        (delta,) = comparison.deltas
+        assert delta.status == "regression"
+        assert delta.change == pytest.approx(1.0)
+
+    def test_rate_metric_zero_current_is_info(self):
+        comparison = compare_reports(
+            report_with({"a_per_s": 0.0}),
+            report_with({"a_per_s": 100.0}),
+        )
+        (delta,) = comparison.deltas
+        assert delta.status == "info"
+
+    def test_improvement_flagged_symmetric(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 0.5}),
+            report_with({"a_seconds": 1.0}),
+        )
+        assert [d.status for d in comparison.deltas] == ["improvement"]
+        assert not comparison.has_regressions
+
+    def test_custom_threshold(self):
+        current = report_with({"a_seconds": 1.25})
+        baseline = report_with({"a_seconds": 1.0})
+        assert not compare_reports(current, baseline).has_regressions
+        assert compare_reports(
+            current, baseline, threshold=0.10
+        ).has_regressions
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(
+                report_with({}), report_with({}), threshold=-0.1
+            )
+
+    def test_counter_drift_never_gates(self):
+        comparison = compare_reports(
+            report_with({"hotop_queue_pops": 10_000}),
+            report_with({"hotop_queue_pops": 10}),
+        )
+        (delta,) = comparison.deltas
+        assert delta.status == "info"
+        assert not comparison.has_regressions
+
+
+class TestRendering:
+    def test_render_carries_shas_and_verdict(self):
+        comparison = compare_reports(
+            report_with({"a_seconds": 2.0}, sha="feedface"),
+            report_with({"a_seconds": 1.0}, sha="deadbeef"),
+        )
+        text = render_comparison(comparison)
+        assert "deadbeef" in text
+        assert "REGRESSION" in text
+        assert "a_seconds" in text
+
+    def test_quiet_render_on_identical_reports(self):
+        report = report_with({"a_seconds": 1.0, "hotop_x": 5})
+        comparison = compare_reports(report, report)
+        assert not comparison.has_regressions
+        assert "no regressions" in render_comparison(comparison).lower()
+
+    def test_as_dict_serializable(self):
+        import json
+
+        comparison = compare_reports(
+            report_with({"a_seconds": 2.0}),
+            report_with({"a_seconds": 1.0}),
+        )
+        data = comparison.as_dict()
+        json.dumps(data)
+        assert data["has_regressions"] is True
+        assert data["threshold"] == DEFAULT_THRESHOLD

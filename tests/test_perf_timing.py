@@ -1,0 +1,87 @@
+"""Micro-benchmark timing: MAD outlier rejection and time_callable."""
+
+import pytest
+
+from repro.perf.timing import TimingResult, mad_keep_mask, time_callable
+
+
+class TestMadKeepMask:
+    def test_fewer_than_three_kept(self):
+        assert mad_keep_mask([]) == []
+        assert mad_keep_mask([1.0]) == [True]
+        assert mad_keep_mask([1.0, 99.0]) == [True, True]
+
+    def test_identical_samples_kept(self):
+        assert mad_keep_mask([2.0] * 7) == [True] * 7
+
+    def test_slow_outlier_rejected(self):
+        mask = mad_keep_mask([1.0, 1.01, 0.99, 1.02, 5.0])
+        assert mask == [True, True, True, True, False]
+
+    def test_fast_outlier_kept(self):
+        # One-sided: an anomalously fast sample is physically
+        # meaningful and must survive.
+        mask = mad_keep_mask([1.0, 1.01, 0.99, 1.02, 0.2])
+        assert mask[-1] is True
+
+    def test_zero_mad_falls_back_to_mean_deviation(self):
+        # Majority identical (MAD = 0) plus one slow spike: the mean
+        # absolute deviation fallback still catches it.
+        mask = mad_keep_mask([1.0] * 6 + [50.0])
+        assert mask == [True] * 6 + [False]
+
+    def test_moderate_spread_kept(self):
+        assert mad_keep_mask([0.5, 1.0, 1.5]) == [True] * 3
+
+
+class TestTimeCallable:
+    def test_runs_warmup_plus_repeats(self):
+        calls = []
+        result = time_callable(
+            "k", lambda: calls.append(1), ops=2, repeats=4, warmup=3
+        )
+        assert len(calls) == 7
+        assert len(result.samples) == 4
+        assert result.warmup == 3
+        assert result.ops == 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            time_callable("k", lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable("k", lambda: None, ops=0)
+
+    def test_deterministic_clock(self):
+        ticks = iter(range(100))
+        result = time_callable(
+            "k", lambda: None, ops=10, repeats=3, warmup=0,
+            clock=lambda: next(ticks),
+        )
+        # every sample is exactly one tick = 1 second
+        assert result.samples == [1, 1, 1]
+        assert result.median_seconds == 1
+        assert result.ns_per_op == pytest.approx(1e8)
+        assert result.ops_per_s == pytest.approx(10.0)
+
+
+class TestTimingResult:
+    def test_summary_over_kept_samples_only(self):
+        result = TimingResult(
+            name="k",
+            ops=1,
+            samples=[1.0, 2.0, 100.0],
+            kept=[True, True, False],
+        )
+        assert result.rejected == 1
+        assert result.kept_samples == [1.0, 2.0]
+        assert result.median_seconds == 1.5
+        assert result.min_seconds == 1.0
+        assert result.mean_seconds == 1.5
+
+    def test_as_dict_roundtrip(self):
+        result = time_callable("k", lambda: None, ops=3, repeats=3)
+        data = result.as_dict()
+        assert data["name"] == "k"
+        assert data["repeats"] == 3
+        assert data["ns_per_op"] == pytest.approx(result.ns_per_op)
+        assert len(data["samples_seconds"]) == 3
