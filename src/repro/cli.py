@@ -162,6 +162,14 @@ def _cmd_synth(args) -> int:
     options, registry, phases, jsonl = _attach_observers(
         args, _options_from_args(args)
     )
+    if getattr(args, "jobs", None) is not None:
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        options = options.with_(
+            portfolio_jobs=args.jobs,
+            portfolio_cancel_gates=args.cancel_gates,
+        )
     try:
         if args.bidirectional:
             if permutation is None:
@@ -197,6 +205,8 @@ def _cmd_synth(args) -> int:
             result, registry=registry, phases=phases,
             benchmark=args.benchmark,
         )
+        if getattr(result, "portfolio", None) is not None:
+            report["portfolio"] = result.portfolio.as_dict()
     if args.metrics:
         from repro.obs import write_run_report
 
@@ -218,6 +228,12 @@ def _cmd_synth(args) -> int:
           f"quantum cost: {result.circuit.quantum_cost()}   "
           f"steps: {result.stats.steps}   "
           f"time: {result.stats.elapsed_seconds:.2f}s")
+    summary = getattr(result, "portfolio", None)
+    if summary is not None and not summary.shortcut:
+        print(f"portfolio: {summary.jobs} jobs over {summary.seed_count} "
+              f"seeds, winner slice {summary.winner_slice} "
+              f"(seed rank {summary.winner_rank}), "
+              f"{summary.cancelled} cancelled")
     print(result.circuit)
     if args.draw:
         print()
@@ -467,7 +483,19 @@ def _cmd_table1(args) -> int:
     from repro.experiments.table1 import render_table1, run_table1
 
     sample = None if args.full else args.sample
-    print(render_table1(run_table1(sample=sample, seed=args.seed)))
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    harness = None
+    if args.jobs > 1:
+        from repro.harness import HarnessConfig, RetryPolicy
+
+        harness = HarnessConfig(
+            isolate=True, jobs=args.jobs, retry=RetryPolicy()
+        )
+    print(render_table1(
+        run_table1(sample=sample, seed=args.seed, harness=harness)
+    ))
     return 0
 
 
@@ -724,6 +752,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="print an ASCII diagram")
     synth.add_argument("--bidirectional", action="store_true",
                        help="also try synthesizing the inverse function")
+    synth.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="race the restart seeds across N worker "
+                            "processes (portfolio search, see "
+                            "docs/parallel.md)")
+    synth.add_argument("--cancel-gates", type=int, default=None, metavar="G",
+                       help="with --jobs: kill the other workers once a "
+                            "verified circuit of at most G gates arrives")
     _add_option_flags(synth)
     _add_observability_flags(synth)
     synth.set_defaults(handler=_cmd_synth)
@@ -839,6 +874,9 @@ def main(argv: list[str] | None = None) -> int:
     table1.add_argument("--full", action="store_true",
                         help="run all 40,320 functions")
     table1.add_argument("--seed", type=int, default=2004)
+    table1.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run the RMRLS column on N isolated workers "
+                             "(implies the fault-tolerant harness)")
     table1.set_defaults(handler=_cmd_table1)
 
     for name, handler, default_sample in (

@@ -20,6 +20,7 @@ from repro.harness.tasks import (
     Task,
     benchmark_task,
     permutation_task,
+    portfolio_task,
     pprm_task,
     probe_task,
     random_circuit_task,
@@ -53,6 +54,7 @@ __all__ = [
     "execute_payload",
     "harness_from_env",
     "permutation_task",
+    "portfolio_task",
     "pprm_task",
     "probe_task",
     "random_circuit_task",

@@ -25,6 +25,7 @@ from repro.harness.tasks import Task
 from repro.harness.taxonomy import (
     STATUS_CRASH,
     STATUS_HANG,
+    STATUS_INTERRUPTED,
     STATUS_OOM,
     TaskOutcome,
 )
@@ -61,7 +62,7 @@ class _Attempt:
 
     __slots__ = (
         "task", "attempt", "process", "conn",
-        "started", "deadline", "killed", "prior_elapsed",
+        "started", "deadline", "killed", "cancelled", "prior_elapsed",
     )
 
     def __init__(self, task, attempt, process, conn, started, deadline,
@@ -73,6 +74,7 @@ class _Attempt:
         self.started = started
         self.deadline = deadline
         self.killed = False
+        self.cancelled = False
         self.prior_elapsed = prior_elapsed
 
 
@@ -133,7 +135,7 @@ class WorkerPool:
         process = self._ctx.Process(
             target=worker_entry,
             args=(sender, task.kind, task.payload, options,
-                  pending.attempt, mem),
+                  pending.attempt, mem, task.runtime),
             daemon=True,
         )
         process.start()
@@ -161,6 +163,11 @@ class WorkerPool:
         running.process.join()
         if isinstance(result, dict) and "status" in result:
             return result
+        if running.cancelled:
+            return {
+                "status": STATUS_INTERRUPTED,
+                "error": "worker cancelled by the pool's stop condition",
+            }
         if running.killed:
             return {
                 "status": STATUS_HANG,
@@ -194,7 +201,7 @@ class WorkerPool:
 
     # -- the scheduling loop -----------------------------------------------
 
-    def run(self, tasks, on_final=None) -> list[TaskOutcome]:
+    def run(self, tasks, on_final=None, stop_check=None) -> list[TaskOutcome]:
         """Run every task to a final outcome; return them in finish order.
 
         ``on_final(task, outcome)`` fires as soon as a task's outcome is
@@ -202,15 +209,25 @@ class WorkerPool:
         ``KeyboardInterrupt`` every live worker is SIGKILLed and the
         interrupt propagates — tasks without a final outcome simply have
         none, which is what makes a later resume re-run them.
+
+        ``stop_check()`` (optional) is polled between scheduling rounds;
+        once it returns true, still-running workers are SIGKILLed and
+        settled as ``interrupted`` (no retries) and unlaunched tasks get
+        ``interrupted`` outcomes too — the portfolio driver's early
+        cancellation.  Results that already arrived are never discarded.
         """
         pending = [_Pending(task) for task in tasks]
         running: list[_Attempt] = []
         finished: list[TaskOutcome] = []
+        poll_cap = 0.05 if stop_check is not None else None
         try:
             while pending or running:
+                if stop_check is not None and stop_check():
+                    self._cancel_rest(pending, running, finished, on_final)
+                    break
                 now = self._clock()
                 self._fill_slots(pending, running, now)
-                self._wait(pending, running, now)
+                self._wait(pending, running, now, poll_cap)
                 now = self._clock()
                 for attempt in list(running):
                     if attempt.process.is_alive():
@@ -229,6 +246,35 @@ class WorkerPool:
             raise
         return finished
 
+    def _cancel_rest(self, pending, running, finished, on_final) -> None:
+        """SIGKILL the survivors of a satisfied stop condition.
+
+        Each killed worker settles through the normal path: a result
+        that raced in before the kill is kept verbatim; otherwise the
+        attempt is classified ``interrupted`` (not retryable).  Tasks
+        never launched settle as ``interrupted`` without a process.
+        """
+        now = self._clock()
+        for attempt in list(running):
+            attempt.cancelled = True
+            self._kill(attempt)
+            attempt.process.join()
+            running.remove(attempt)
+            self._settle(attempt, now, pending, finished, on_final)
+        for waiting in list(pending):
+            pending.remove(waiting)
+            outcome = TaskOutcome(
+                task_id=waiting.task.task_id,
+                status=STATUS_INTERRUPTED,
+                attempts=max(1, waiting.attempt - 1),
+                error="cancelled before launch by the pool's stop condition",
+                elapsed_seconds=waiting.prior_elapsed,
+                meta=dict(waiting.task.meta),
+            )
+            finished.append(outcome)
+            if on_final is not None:
+                on_final(waiting.task, outcome)
+
     def _fill_slots(self, pending, running, now) -> None:
         while len(running) < self.jobs:
             ready = next(
@@ -239,15 +285,18 @@ class WorkerPool:
             pending.remove(ready)
             running.append(self._launch(ready))
 
-    def _wait(self, pending, running, now) -> None:
+    def _wait(self, pending, running, now, cap=None) -> None:
         """Block until a worker exits, a deadline passes, or a backoff
-        window opens."""
+        window opens.  ``cap`` bounds the block so a ``stop_check`` is
+        re-polled promptly."""
         horizons = [a.deadline for a in running if a.deadline is not None]
         if len(running) < self.jobs:
             horizons.extend(p.ready_at for p in pending if p.ready_at > now)
         timeout = None
         if horizons:
             timeout = max(0.0, min(horizons) - now)
+        if cap is not None:
+            timeout = cap if timeout is None else min(timeout, cap)
         if running:
             multiprocessing.connection.wait(
                 [attempt.process.sentinel for attempt in running],

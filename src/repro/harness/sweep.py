@@ -144,7 +144,9 @@ def _run_inline_attempt(task: Task, options: dict, attempt: int) -> dict:
     isolation.
     """
     try:
-        return execute_payload(task.kind, task.payload, options, attempt)
+        return execute_payload(
+            task.kind, task.payload, options, attempt, task.runtime
+        )
     except KeyboardInterrupt:
         raise
     except MemoryError:

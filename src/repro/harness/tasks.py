@@ -27,6 +27,7 @@ __all__ = [
     "options_payload",
     "options_from_payload",
     "permutation_task",
+    "portfolio_task",
     "pprm_task",
     "random_circuit_task",
     "benchmark_task",
@@ -35,7 +36,7 @@ __all__ = [
 
 #: Option fields that hold live objects; they cannot cross a process
 #: boundary and never affect the synthesized result.
-_UNSERIALIZABLE_OPTIONS = ("observers", "phase_timer")
+_UNSERIALIZABLE_OPTIONS = ("observers", "phase_timer", "bound_channel")
 
 
 def options_payload(options: SynthesisOptions | None) -> dict:
@@ -92,6 +93,11 @@ class Task:
     meta: dict = field(default_factory=dict)
     namespace: str = ""
     task_id: str = ""
+    # Live per-run objects handed to the worker process (e.g. the
+    # portfolio's shared incumbent bound).  Excluded from the
+    # fingerprint and from equality: runtime plumbing never changes
+    # what the task computes, only how fast it stops.
+    runtime: dict | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if not self.task_id:
@@ -181,6 +187,38 @@ def benchmark_task(
         options=options_payload(options),
         meta=dict(meta or {"label": name}),
         namespace=namespace,
+    )
+
+
+def portfolio_task(
+    payload_spec: dict,
+    seeds,
+    slice_index: int,
+    options: SynthesisOptions | None = None,
+    runtime: dict | None = None,
+    meta: dict | None = None,
+    namespace: str = "portfolio",
+) -> Task:
+    """One portfolio slice: search restricted to a set of seed ranks.
+
+    ``payload_spec`` is ``{"images": [...]}`` for a permutation spec or
+    ``{"system": "..."}`` for a parseable PPRM system;  ``seeds`` is the
+    full ranked first level as ``[rank, target, factor]`` triples (the
+    worker uses it to report which seed produced its solution);  the
+    assigned slice itself travels in ``options`` as
+    ``portfolio_seed_ranks``.  ``runtime`` may carry the live shared
+    bound under key ``"bound"``.
+    """
+    payload = dict(payload_spec)
+    payload["seeds"] = [list(seed) for seed in seeds]
+    payload["slice"] = slice_index
+    return Task(
+        kind="portfolio",
+        payload=payload,
+        options=options_payload(options),
+        meta=dict(meta or {"label": f"portfolio:slice{slice_index}"}),
+        namespace=namespace,
+        runtime=runtime,
     )
 
 

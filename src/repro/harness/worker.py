@@ -158,6 +158,77 @@ def _run_benchmark(payload: dict, options: dict, attempt: int) -> dict:
     return {"status": status, "stats": stats}
 
 
+def _solution_seed_rank(circuit, seeds) -> int:
+    """Which first-level seed a finished circuit descends from.
+
+    The gate closest to the inputs *is* the depth-1 substitution, so
+    matching its ``(target, controls)`` against the ranked seed list
+    recovers the seed rank.  Returns -1 when there is no match (a
+    depth-1 solution found during the root expansion — identity
+    children never enter the seed pool — or an empty circuit).
+    """
+    if not circuit.gates:
+        return -1
+    first = circuit.gates[0]
+    for rank, target, factor in seeds:
+        if first.target == target and first.controls == factor:
+            return int(rank)
+    return -1
+
+
+def _run_portfolio(
+    payload: dict, options: dict, attempt: int, runtime: dict | None
+) -> dict:
+    """One portfolio slice: the serial search restricted to this
+    worker's seed ranks (see :mod:`repro.parallel`), reporting the
+    winning seed's rank and an optional metrics snapshot alongside the
+    usual synthesis result."""
+    from repro.synth.rmrls import synthesize
+
+    if "images" in payload:
+        from repro.functions.permutation import Permutation
+
+        spec = Permutation(payload["images"])
+        system = spec.to_pprm()
+    else:
+        from repro.pprm.parser import parse_system
+
+        spec = None
+        system = parse_system(payload["system"])
+    synth_options = options_from_payload(options)
+    bound = (runtime or {}).get("bound")
+    if bound is not None:
+        synth_options = synth_options.with_(bound_channel=bound)
+    registry = None
+    if payload.get("metrics"):
+        from repro.obs import MetricsObserver, MetricsRegistry
+
+        registry = MetricsRegistry()
+        synth_options = synth_options.with_(
+            observers=synth_options.observers + (MetricsObserver(registry),)
+        )
+    result = synthesize(system, synth_options)
+    verified = None
+    if result.solved:
+        if spec is not None:
+            verified = result.circuit.implements(spec)
+        else:
+            # A PPRM spec carries its own ground truth (as in _run_pprm).
+            verified = str(result.circuit.to_pprm()) == str(system)
+    out = _synthesis_result_dict(result, verified)
+    extra = out.setdefault("extra", {})
+    extra["slice"] = payload.get("slice")
+    extra["finish_reason"] = result.stats.finish_reason
+    if result.solved:
+        extra["depth"] = result.gate_count
+        extra["solution_rank"] = _solution_seed_rank(
+            result.circuit, payload.get("seeds") or []
+        )
+    if registry is not None:
+        extra["metrics"] = registry.as_dict()
+    return out
+
+
 def _run_probe(payload: dict, options: dict, attempt: int) -> dict:
     behavior = payload["behavior"]
     if behavior == "ok":
@@ -208,9 +279,16 @@ _RUNNERS = {
     "probe": _run_probe,
 }
 
+#: Runners that additionally receive the task's live ``runtime`` dict
+#: (cross-process objects like the portfolio's shared bound).
+_RUNTIME_RUNNERS = {
+    "portfolio": _run_portfolio,
+}
+
 
 def execute_payload(
-    kind: str, payload: dict, options: dict, attempt: int = 1
+    kind: str, payload: dict, options: dict, attempt: int = 1,
+    runtime: dict | None = None,
 ) -> dict:
     """Run one task in the current process.
 
@@ -219,13 +297,17 @@ def execute_payload(
     the caller's job (:func:`worker_entry` in a subprocess, the inline
     executor in-process).
     """
+    runtime_runner = _RUNTIME_RUNNERS.get(kind)
     runner = _RUNNERS.get(kind)
-    if runner is None:
+    if runner is None and runtime_runner is None:
         raise ValueError(f"unknown task kind: {kind!r}")
     from repro.perf.hotops import snapshot_global
 
     before = snapshot_global()
-    result = runner(payload, options, attempt)
+    if runtime_runner is not None:
+        result = runtime_runner(payload, options, attempt, runtime)
+    else:
+        result = runner(payload, options, attempt)
     # Meter the whole payload (a portfolio task may synthesize several
     # times), and ship the totals over the result channel so the
     # parent sweep can aggregate hot ops across isolated workers.
@@ -242,6 +324,7 @@ def worker_entry(
     options: dict,
     attempt: int,
     mem_limit_mb: int | None,
+    runtime: dict | None = None,
 ) -> None:
     """Subprocess entry point: run the task, send one result dict.
 
@@ -252,7 +335,7 @@ def worker_entry(
     try:
         if mem_limit_mb is not None:
             apply_memory_limit(mem_limit_mb)
-        result = execute_payload(kind, payload, options, attempt)
+        result = execute_payload(kind, payload, options, attempt, runtime)
     except MemoryError:
         result = {
             "status": STATUS_OOM,

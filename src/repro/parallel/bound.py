@@ -1,0 +1,64 @@
+"""The shared incumbent-depth cell of the portfolio search.
+
+One cross-process integer: the depth (= gate count) of the best
+verified-acceptable solution any worker has found so far.  Workers
+``publish`` every accepted solution and ``best`` is polled from the
+search loop's stride machinery, so every racer prunes against the
+fleet-wide incumbent instead of only its own.
+
+Reads are lock-free (a single aligned machine word); only the
+monotone-minimum update in :meth:`SharedBound.publish` takes the lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+__all__ = ["LocalBound", "SharedBound"]
+
+#: Sentinel stored while no solution exists yet.  Any real depth is
+#: smaller; fits a signed 64-bit ``Value("q")``.
+_UNSET = 2**62
+
+
+class SharedBound:
+    """A cross-process, monotonically decreasing incumbent depth.
+
+    The protocol (duck-typed by ``SynthesisOptions.bound_channel``):
+
+    * ``publish(depth)`` — lower the shared value to ``depth`` if that
+      improves it (never raises it);
+    * ``best()`` — the current incumbent depth, or ``None`` while no
+      worker has solved.
+    """
+
+    def __init__(self, context=None):
+        ctx = context if context is not None else multiprocessing
+        self._value = ctx.Value("q", _UNSET)
+
+    def publish(self, depth: int) -> None:
+        """Offer ``depth`` as a new incumbent (kept only if smaller)."""
+        value = self._value
+        with value.get_lock():
+            if depth < value.value:
+                value.value = depth
+
+    def best(self) -> int | None:
+        """The fleet-wide incumbent depth, or ``None`` if unsolved."""
+        current = self._value.value
+        return None if current >= _UNSET else current
+
+
+class LocalBound:
+    """In-process stand-in for :class:`SharedBound` (tests, inline
+    portfolio runs): same protocol, plain attribute storage."""
+
+    def __init__(self):
+        self._best: int | None = None
+
+    def publish(self, depth: int) -> None:
+        if self._best is None or depth < self._best:
+            self._best = depth
+
+    def best(self) -> int | None:
+        return self._best

@@ -1,0 +1,406 @@
+"""Portfolio-parallel RMRLS: race the restart seeds across processes.
+
+The Sec. IV-E restart heuristic already treats every ranked first-level
+substitution as an independent search seed — serially, one after
+another.  This module runs the same seed pool *concurrently*:
+
+1. :func:`repro.synth.rmrls.enumerate_first_level` ranks the root's
+   first-level substitutions (exactly the order ``_try_restart``
+   consumes);
+2. the ranks are partitioned round-robin over ``jobs`` slices, so every
+   worker owns a spread of good and bad seeds;
+3. each slice runs a full ``_Search`` in an isolated worker process
+   (the PR-2 :class:`~repro.harness.pool.WorkerPool` — same budgets,
+   same failure taxonomy), restricted to its ranks via
+   ``SynthesisOptions.portfolio_seed_ranks``;
+4. workers share the incumbent solution depth through a
+   :class:`~repro.parallel.bound.SharedBound`, so every racer prunes at
+   ``bestDepth - 1`` as soon as *any* worker solves;
+5. the parent merges ``SearchStats``, hot-op counters, and metrics
+   snapshots (via ``MetricsRegistry.merge_snapshot``) into one
+   fleet-wide :class:`~repro.synth.rmrls.SynthesisResult`.
+
+Winner selection is deterministic: minimal solution depth first, then
+the lowest seed rank, then the lowest slice index — never arrival
+order.  See docs/parallel.md for the full determinism contract (budgets
+and early cancellation are the two ways to trade it away).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.harness.pool import WorkerBudget, WorkerPool
+from repro.harness.retry import RetryPolicy
+from repro.harness.tasks import portfolio_task
+from repro.harness.taxonomy import STATUS_OK, TaskOutcome
+from repro.parallel.bound import SharedBound
+from repro.perf.hotops import global_counters
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import (
+    SynthesisResult,
+    _as_system,
+    enumerate_first_level,
+)
+from repro.synth.stats import SearchStats
+
+__all__ = [
+    "PortfolioSummary",
+    "SliceOutcome",
+    "partition_seeds",
+    "synthesize_portfolio",
+]
+
+#: Option fields the portfolio driver owns; cleared on worker options so
+#: a worker never recursively spawns its own portfolio.
+_DRIVER_FIELDS = dict(
+    portfolio_jobs=None,
+    portfolio_cancel_gates=None,
+    observers=(),
+    phase_timer=None,
+    bound_channel=None,
+)
+
+#: Merged finish reason for unsolved fleets, most significant last: a
+#: budget-bound slice means the *fleet* was budget-bound.
+_UNSOLVED_PRECEDENCE = (
+    "queue_exhausted", "interrupted", "step_limit", "timeout",
+    "memory_limit",
+)
+
+
+def partition_seeds(num_seeds: int, jobs: int) -> list[tuple[int, ...]]:
+    """Round-robin rank partition: slice ``i`` gets ranks ``i``,
+    ``i + jobs``, ``i + 2*jobs``, ...
+
+    Round-robin (not contiguous blocks) spreads the high-priority seeds
+    across workers, so the seeds the serial restart order would try
+    first are all being raced from the start.  Empty slices (more jobs
+    than seeds) are dropped.
+    """
+    if num_seeds < 0:
+        raise ValueError("num_seeds must be non-negative")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    slices = [
+        tuple(range(start, num_seeds, jobs)) for start in range(jobs)
+    ]
+    return [ranks for ranks in slices if ranks]
+
+
+@dataclass(frozen=True)
+class SliceOutcome:
+    """What one portfolio slice reported back.
+
+    ``stats`` is the worker's full ``SearchStats.as_dict`` snapshot
+    (plus its ``hot_ops``); ``metrics`` the worker registry snapshot
+    when metrics were requested.  ``as_dict`` keeps the headline only.
+    """
+
+    slice_index: int
+    seed_ranks: tuple
+    status: str
+    finish_reason: str
+    gate_count: int | None = None
+    solution_rank: int | None = None
+    circuit: str | None = None
+    stats: dict = field(default_factory=dict)
+    metrics: dict | None = None
+    elapsed_seconds: float = 0.0
+    error: str | None = None
+
+    @property
+    def steps(self) -> int:
+        return int(self.stats.get("steps") or 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "slice": self.slice_index,
+            "seed_ranks": list(self.seed_ranks),
+            "status": self.status,
+            "finish_reason": self.finish_reason,
+            "gate_count": self.gate_count,
+            "solution_rank": self.solution_rank,
+            "steps": self.steps,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error": self.error,
+        }
+
+
+@dataclass
+class PortfolioSummary:
+    """Fleet-level accounting attached to a portfolio result."""
+
+    jobs: int
+    seed_count: int
+    slices: list[SliceOutcome] = field(default_factory=list)
+    winner_slice: int | None = None
+    winner_rank: int | None = None
+    cancelled: int = 0
+    shared_bound: bool = True
+    shortcut: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "seed_count": self.seed_count,
+            "winner_slice": self.winner_slice,
+            "winner_rank": self.winner_rank,
+            "cancelled": self.cancelled,
+            "shared_bound": self.shared_bound,
+            "shortcut": self.shortcut,
+            "slices": [entry.as_dict() for entry in self.slices],
+        }
+
+
+def _spec_payload(specification, system) -> dict:
+    """The JSON-safe spec a worker re-derives the system from.
+
+    Permutations keep their image table (workers verify with
+    ``circuit.implements``); bare PPRM systems travel as parseable text
+    and verify by PPRM round-trip, as in the sweep runners.
+    """
+    from repro.functions.permutation import Permutation
+
+    if isinstance(specification, Permutation):
+        return {"images": list(specification.images)}
+    if isinstance(specification, (list, tuple)):
+        return {"images": [int(image) for image in specification]}
+    return {"system": str(system)}
+
+
+def _slice_outcome(task_outcome: TaskOutcome, slice_index, ranks):
+    extra = task_outcome.extra or {}
+    return SliceOutcome(
+        slice_index=slice_index,
+        seed_ranks=tuple(ranks),
+        status=task_outcome.status,
+        finish_reason=str(extra.get("finish_reason") or ""),
+        gate_count=task_outcome.gate_count,
+        solution_rank=extra.get("solution_rank"),
+        circuit=task_outcome.circuit,
+        stats=dict(task_outcome.stats or {}),
+        metrics=extra.get("metrics"),
+        elapsed_seconds=task_outcome.elapsed_seconds,
+        error=task_outcome.error,
+    )
+
+
+def _merged_finish_reason(slices: list[SliceOutcome]) -> str:
+    reason = "queue_exhausted"
+    best = -1
+    for entry in slices:
+        name = entry.finish_reason or "interrupted"
+        if name not in _UNSOLVED_PRECEDENCE:
+            name = "interrupted"
+        level = _UNSOLVED_PRECEDENCE.index(name)
+        if level > best:
+            best = level
+            reason = name
+    return reason
+
+
+def _parent_registries(options: SynthesisOptions) -> list:
+    """MetricsRegistry instances reachable from the caller's observers
+    (the ``rmrls synth --json/--metrics`` path) — merge targets for the
+    workers' metrics snapshots."""
+    registries = []
+    for observer in options.observers:
+        registry = getattr(observer, "registry", None)
+        if registry is not None and hasattr(registry, "merge_snapshot"):
+            registries.append(registry)
+    return registries
+
+
+def synthesize_portfolio(
+    specification,
+    options: SynthesisOptions | None = None,
+    jobs: int | None = None,
+    pool: WorkerPool | None = None,
+    **option_changes,
+) -> SynthesisResult:
+    """Synthesize by racing the ranked first-level seeds in parallel.
+
+    Drop-in alternative to :func:`repro.synth.rmrls.synthesize` (which
+    dispatches here itself when ``options.portfolio_jobs > 1``).
+    ``jobs`` overrides ``options.portfolio_jobs``; a custom ``pool``
+    may inject budgets/retries (its ``jobs`` setting still bounds
+    concurrency).
+
+    Returns a fleet-wide :class:`SynthesisResult`: the deterministic
+    winner's circuit, merged ``SearchStats`` (slice totals; note every
+    worker repeats the root expansion), and a
+    :class:`PortfolioSummary` under ``result.portfolio``.
+    """
+    if options is None:
+        options = SynthesisOptions()
+    if option_changes:
+        options = options.with_(**option_changes)
+    if jobs is None:
+        jobs = options.portfolio_jobs or 1
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    started = time.monotonic()
+    system = _as_system(specification)
+
+    # Seed enumeration runs in-process, without the caller's live
+    # observers (workers repeat the root expansion under their own).
+    quiet = options.with_(**_DRIVER_FIELDS)
+    first = enumerate_first_level(system, quiet)
+    registries = _parent_registries(options)
+
+    if first.shortcut is not None or not first.seeds or jobs == 1:
+        # Identity / single-gate specs, an empty seed pool (everything
+        # pruned at the root), or a degenerate fleet: the serial search
+        # is the portfolio.
+        result = (
+            first.shortcut
+            if first.shortcut is not None
+            else _serial_fallback(system, quiet)
+        )
+        result.options = options
+        result.portfolio = PortfolioSummary(
+            jobs=jobs,
+            seed_count=len(first.seeds),
+            shared_bound=False,
+            shortcut=first.shortcut is not None,
+        )
+        return result
+
+    seeds = first.seeds
+    slices = partition_seeds(len(seeds), jobs)
+    bound = SharedBound() if options.portfolio_share_bound else None
+    runtime = None if bound is None else {"bound": bound}
+    seed_triples = [(s.rank, s.target, s.factor) for s in seeds]
+    payload_spec = _spec_payload(specification, system)
+    if registries:
+        payload_spec = dict(payload_spec, metrics=True)
+
+    tasks = []
+    for index, ranks in enumerate(slices):
+        worker_options = options.with_(
+            portfolio_seed_ranks=ranks, **_DRIVER_FIELDS
+        )
+        tasks.append(
+            portfolio_task(
+                payload_spec,
+                seed_triples,
+                index,
+                options=worker_options,
+                runtime=runtime,
+                meta={"label": f"portfolio:slice{index}", "slice": index},
+            )
+        )
+
+    if pool is None:
+        pool = WorkerPool(
+            jobs=jobs, budget=WorkerBudget(), retry=RetryPolicy()
+        )
+
+    # Early cancellation: once a good-enough verified incumbent has
+    # *arrived* (not merely been published to the bound — the finder's
+    # own result must be safely received first), the remaining workers
+    # are SIGKILLed.  ``stop_at_first`` cancels on any solution;
+    # ``portfolio_cancel_gates`` on one at most that many gates.
+    cancel_gates = options.portfolio_cancel_gates
+    cancel_armed = options.stop_at_first or cancel_gates is not None
+    state = {"stop": False}
+
+    def on_final(task, outcome):
+        if not cancel_armed or outcome.status != STATUS_OK:
+            return
+        if outcome.gate_count is None:
+            return
+        if cancel_gates is None or outcome.gate_count <= cancel_gates:
+            state["stop"] = True
+
+    stop_check = (lambda: state["stop"]) if cancel_armed else None
+    outcomes = pool.run(tasks, on_final=on_final, stop_check=stop_check)
+
+    by_task = {outcome.task_id: outcome for outcome in outcomes}
+    summary = PortfolioSummary(
+        jobs=jobs,
+        seed_count=len(seeds),
+        shared_bound=bound is not None,
+    )
+    for index, (task, ranks) in enumerate(zip(tasks, slices)):
+        outcome = by_task.get(task.task_id)
+        if outcome is None:  # pragma: no cover - defensive
+            continue
+        entry = _slice_outcome(outcome, index, ranks)
+        summary.slices.append(entry)
+        if entry.status == "interrupted":
+            summary.cancelled += 1
+
+    return _merge_fleet(system, options, summary, registries, started)
+
+
+def _serial_fallback(system, options: SynthesisOptions) -> SynthesisResult:
+    from repro.synth.rmrls import synthesize
+
+    return synthesize(system, options)
+
+
+def _merge_fleet(
+    system, options, summary: PortfolioSummary, registries, started
+) -> SynthesisResult:
+    """Fold the slice outcomes into one fleet-wide result."""
+    fleet = SearchStats()
+    for entry in summary.slices:
+        if entry.stats:
+            fleet.merge(SearchStats.from_dict(entry.stats))
+    # Hot-op totals travel inside each slice's stats; feed the fleet
+    # aggregate into the process-global meter so `rmrls bench` and the
+    # sweep harness see portfolio work like any other search work.
+    if fleet.hot_ops:
+        global_counters().merge_dict(fleet.hot_ops)
+    for registry in registries:
+        for entry in summary.slices:
+            if entry.metrics:
+                registry.merge_snapshot(entry.metrics)
+
+    winner = _pick_winner(summary.slices)
+    circuit = None
+    if winner is not None:
+        from repro.io.real_format import load_real
+
+        circuit = load_real(winner.circuit)
+        summary.winner_slice = winner.slice_index
+        summary.winner_rank = winner.solution_rank
+        fleet.finish_reason = winner.finish_reason or "solved"
+    else:
+        fleet.finish_reason = _merged_finish_reason(summary.slices)
+        fleet.timed_out = fleet.timed_out or fleet.finish_reason == "timeout"
+    fleet.elapsed_seconds = time.monotonic() - started
+    return SynthesisResult(
+        circuit=circuit,
+        stats=fleet,
+        options=options,
+        num_vars=system.num_vars,
+        trace=None,
+        portfolio=summary,
+    )
+
+
+def _pick_winner(slices: list[SliceOutcome]) -> SliceOutcome | None:
+    """Deterministic winner: (depth, seed rank, slice index) minimal.
+
+    Rank -1 marks a depth-1 solution discovered during the root
+    expansion (identical in every worker), so rank order still breaks
+    the tie deterministically.  Arrival order never participates.
+    """
+    best = None
+    best_key = None
+    for entry in slices:
+        if entry.status != STATUS_OK or not entry.circuit:
+            continue
+        if entry.gate_count is None:
+            continue
+        rank = entry.solution_rank
+        rank_key = rank if rank is not None and rank >= 0 else -1
+        key = (entry.gate_count, rank_key, entry.slice_index)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = entry
+    return best

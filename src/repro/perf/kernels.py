@@ -279,11 +279,88 @@ def _workload_scalability_probe(quick: bool):
     return body
 
 
+def _fixture_portfolio_spec(num_vars: int, index: int):
+    """The ``index``-th permutation of the seeded shuffle stream — the
+    portfolio workload's restart-heavy fixture (chosen because the
+    serial search burns several restart budgets before solving it)."""
+    from repro.functions.permutation import Permutation
+
+    rng = random.Random(_SEED)
+    images = list(range(1 << num_vars))
+    for _ in range(index + 1):
+        images = list(range(1 << num_vars))
+        rng.shuffle(images)
+    return Permutation(images)
+
+
+def _workload_portfolio(quick: bool):
+    """Serial vs 4-way portfolio race on a restart-heavy spec.
+
+    Times the same seeded synthesis twice — once serial, once through
+    :func:`repro.parallel.synthesize_portfolio` with 4 workers — and
+    reports both walls plus their ratio.  The two timings land on the
+    regression surface as ``..._serial_seconds`` and
+    ``..._portfolio_seconds``; the ``speedup`` ratio is informational
+    (it depends on the core count, recorded alongside it).  Under
+    ``stop_at_first`` the race is won by the first slice whose
+    restricted queue reaches a solution, so the portfolio can beat the
+    serial search even on one core: the serial best-first queue wanders
+    across all seeds while the winning slice stays focused on its own.
+    """
+    from repro.synth.rmrls import synthesize
+
+    if quick:
+        spec = _fixture_portfolio_spec(4, 5)
+        kwargs = dict(greedy_k=1, restart_steps=120, max_steps=4_000)
+    else:
+        spec = _fixture_portfolio_spec(5, 5)
+        kwargs = dict(greedy_k=2, restart_steps=500, max_steps=30_000)
+    kwargs.update(dedupe_states=True, stop_at_first=True)
+    jobs = 4
+
+    def body():
+        import os
+        import time as _time
+
+        start = _time.perf_counter()
+        serial = synthesize(spec, **kwargs)
+        serial_seconds = _time.perf_counter() - start
+        start = _time.perf_counter()
+        raced = synthesize(spec, portfolio_jobs=jobs, **kwargs)
+        portfolio_seconds = _time.perf_counter() - start
+        summary = raced.portfolio
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            cores = os.cpu_count() or 1
+        return {
+            "jobs": jobs,
+            "cores": cores,
+            "solved": bool(serial.solved and raced.solved),
+            "steps": serial.stats.steps + raced.stats.steps,
+            "serial_gate_count": serial.gate_count,
+            "portfolio_gate_count": raced.gate_count,
+            "winner_rank": summary.winner_rank,
+            "cancelled": summary.cancelled,
+            "metrics": {
+                "serial_seconds": serial_seconds,
+                "portfolio_seconds": portfolio_seconds,
+                "speedup": (
+                    serial_seconds / portfolio_seconds
+                    if portfolio_seconds else 0.0
+                ),
+            },
+        }
+
+    return body
+
+
 #: name -> factory(quick) -> zero-arg callable returning a summary dict.
 WORKLOADS = {
     "exhaustive3": _workload_exhaustive3,
     "rd53": _workload_rd53,
     "scalability_probe": _workload_scalability_probe,
+    "portfolio": _workload_portfolio,
 }
 
 

@@ -87,6 +87,12 @@ def run_bench(
             metrics[f"workload_{name}_ns_per_substitution"] = section[
                 "ns_per_substitution"
             ]
+        # Workloads may publish extra comparison metrics of their own
+        # (e.g. the portfolio workload's serial/portfolio walls).
+        extra = (section.get("summary") or {}).get("metrics") or {}
+        for key, value in extra.items():
+            if isinstance(value, (int, float)):
+                metrics[f"workload_{name}_{key}"] = value
         totals.merge_dict(section["hot_ops"])
 
     for name, value in totals.as_dict().items():

@@ -9,7 +9,13 @@ from repro.synth.ncts import NctsResult, synthesize_ncts
 from repro.synth.node import SearchNode
 from repro.synth.options import BASIC_OPTIONS, GREEDY_OPTIONS, SynthesisOptions
 from repro.synth.priority import MaxPriorityQueue, node_priority
-from repro.synth.rmrls import SynthesisResult, synthesize
+from repro.synth.rmrls import (
+    FirstLevel,
+    FirstLevelSeed,
+    SynthesisResult,
+    enumerate_first_level,
+    synthesize,
+)
 from repro.synth.stats import SearchStats, TraceEvent, TraceRecorder
 from repro.synth.substitutions import Candidate, enumerate_substitutions
 
@@ -26,7 +32,10 @@ __all__ = [
     "SynthesisOptions",
     "MaxPriorityQueue",
     "node_priority",
+    "FirstLevel",
+    "FirstLevelSeed",
     "SynthesisResult",
+    "enumerate_first_level",
     "synthesize",
     "SearchStats",
     "TraceEvent",

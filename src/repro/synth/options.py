@@ -133,6 +133,35 @@ class SynthesisOptions:
             :class:`~repro.obs.phases.PhaseTimer` that attributes
             sampled wall-clock to the search's hot phases; ``None``
             (the default) compiles the timing paths out of the loop.
+        portfolio_jobs: race this many worker processes over disjoint
+            slices of the ranked first-level substitutions (the Sec.
+            IV-E restart seed pool run concurrently instead of
+            serially); ``None`` or ``1`` runs the ordinary in-process
+            search.  See :mod:`repro.parallel` and docs/parallel.md.
+        portfolio_share_bound: let portfolio workers share the
+            incumbent solution depth through a cross-process value, so
+            every worker prunes at ``bestDepth - 1`` as soon as *any*
+            worker finds a solution.  Workers adopt the shared depth
+            with +1 slack, which only removes provably-worse subtrees;
+            see docs/parallel.md for the determinism contract.
+        portfolio_cancel_gates: once a verified solution with at most
+            this many gates has arrived, SIGKILL the remaining workers
+            instead of letting them finish (their partial work is
+            recorded as ``interrupted``).  ``None`` cancels only under
+            ``stop_at_first``; this trades completeness of the losers'
+            statistics for latency, never soundness.
+        portfolio_seed_ranks: restrict *this* search to the given
+            first-level seed ranks (0-based positions in the
+            priority-sorted first level).  Set by the portfolio driver
+            on each worker; rarely useful directly.
+        portfolio_poll_steps: poll the shared incumbent bound once
+            every this many loop iterations (piggybacks on the
+            deadline poll stride machinery).
+        bound_channel: a live object with ``best()``/``publish(depth)``
+            (see :class:`repro.parallel.SharedBound`) connecting this
+            search to the portfolio's shared incumbent; ``None``
+            (default) keeps the search self-contained.  Excluded from
+            equality and from task serialization like ``observers``.
     """
 
     alpha: float = 0.3
@@ -160,12 +189,41 @@ class SynthesisOptions:
     deadline_poll_steps: int = 16
     observers: tuple = ()
     phase_timer: object | None = field(default=None, compare=False)
+    portfolio_jobs: int | None = None
+    portfolio_share_bound: bool = True
+    portfolio_cancel_gates: int | None = None
+    portfolio_seed_ranks: tuple | None = None
+    portfolio_poll_steps: int = 64
+    bound_channel: object | None = field(default=None, compare=False)
 
     def __post_init__(self):
         if not isinstance(self.observers, tuple):
             object.__setattr__(self, "observers", tuple(self.observers))
+        if self.portfolio_seed_ranks is not None and not isinstance(
+            self.portfolio_seed_ranks, tuple
+        ):
+            object.__setattr__(
+                self,
+                "portfolio_seed_ranks",
+                tuple(self.portfolio_seed_ranks),
+            )
         if self.deadline_poll_steps < 1:
             raise ValueError("deadline_poll_steps must be >= 1")
+        if self.portfolio_jobs is not None and self.portfolio_jobs < 1:
+            raise ValueError("portfolio_jobs must be >= 1 or None")
+        if self.portfolio_poll_steps < 1:
+            raise ValueError("portfolio_poll_steps must be >= 1")
+        if (
+            self.portfolio_cancel_gates is not None
+            and self.portfolio_cancel_gates < 0
+        ):
+            raise ValueError(
+                "portfolio_cancel_gates must be non-negative or None"
+            )
+        if self.portfolio_seed_ranks is not None and any(
+            rank < 0 for rank in self.portfolio_seed_ranks
+        ):
+            raise ValueError("portfolio_seed_ranks must be non-negative")
         if self.greedy_k is not None and self.greedy_k < 1:
             raise ValueError("greedy_k must be >= 1 or None")
         if self.max_gates is not None and self.max_gates < 0:

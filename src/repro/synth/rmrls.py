@@ -45,7 +45,13 @@ from repro.synth.substitutions import enumerate_substitutions
 from repro.utils.bitops import popcount
 from repro.utils.timer import Deadline
 
-__all__ = ["SynthesisResult", "synthesize"]
+__all__ = [
+    "FirstLevel",
+    "FirstLevelSeed",
+    "SynthesisResult",
+    "enumerate_first_level",
+    "synthesize",
+]
 
 
 @dataclass
@@ -63,6 +69,9 @@ class SynthesisResult:
     options: SynthesisOptions
     num_vars: int
     trace: TraceRecorder | None = None
+    # Per-slice accounting when the run went through the portfolio
+    # engine (a repro.parallel PortfolioSummary); None for serial runs.
+    portfolio: object | None = None
 
     @property
     def solved(self) -> bool:
@@ -132,6 +141,11 @@ class _Search:
         self.first_level: list[SearchNode] = []
         self.next_restart_index = 0
         self.steps_since_restart = 0
+        # Portfolio wiring: a live shared-incumbent channel (see
+        # repro.parallel) and a pending first-level rank restriction,
+        # consumed right after the root expands.
+        self.bound = options.bound_channel
+        self._seed_restriction = options.portfolio_seed_ranks
         # Depth-aware duplicate table: state -> shallowest depth seen.
         # A state reached again at the same or a greater depth leads to
         # the same or a worse subtree, so the duplicate can be dropped
@@ -204,6 +218,12 @@ class _Search:
         # iteration still checks, so a 0-second budget fails fast.
         poll_stride = self.options.deadline_poll_steps
         poll_countdown = 0
+        # The shared incumbent bound (portfolio mode) is polled on its
+        # own stride; ``bound is None`` keeps the branch out of the
+        # serial hot path entirely.
+        bound = self.bound
+        bound_stride = self.options.portfolio_poll_steps
+        bound_countdown = 0
         while True:
             if self.queue.is_empty() and not self._try_restart(forced=True):
                 if self.best_node is None:
@@ -216,6 +236,11 @@ class _Search:
                     return "timeout"
                 poll_countdown = poll_stride
             poll_countdown -= 1
+            if bound is not None:
+                if bound_countdown <= 0:
+                    self._adopt_bound()
+                    bound_countdown = bound_stride
+                bound_countdown -= 1
             if (
                 self.options.max_steps is not None
                 and self.stats.steps >= self.options.max_steps
@@ -297,6 +322,8 @@ class _Search:
                         self.best_depth = depth
                         self.best_node = child
                         observer.on_solution(child, parent)
+                        if self.bound is not None:
+                            self.bound.publish(depth)
                         if options.stop_at_first:
                             return
                     continue
@@ -388,6 +415,8 @@ class _Search:
             # node expands, so the final size equals the running peak
             # and per-push notifications would add nothing but overhead.
             observer.on_queue(len(self.queue))
+        if parent.is_root() and self._seed_restriction is not None:
+            self._restrict_first_level()
         parent.release_pprm()
 
     def _visited_record(self, known_depth, child_system, depth) -> None:
@@ -426,7 +455,53 @@ class _Search:
         self.observer.on_child(child, parent)
         return child
 
+    # -- portfolio wiring (see repro.parallel) -----------------------------
+
+    def _adopt_bound(self) -> None:
+        """Tighten ``best_depth`` from the shared incumbent.
+
+        The +1 slack keeps equal-depth solutions acceptable: a remote
+        incumbent at depth ``d`` prunes only subtrees that provably
+        cannot produce a solution of depth <= ``d``, so the portfolio
+        winner (minimal depth, ties by seed rank) is unaffected by
+        *when* the bound arrives — the pruned nodes never carried a
+        competitive solution.
+        """
+        best = self.bound.best()
+        if best is not None and best + 1 < self.best_depth:
+            self.best_depth = best + 1
+
+    def _restrict_first_level(self) -> None:
+        """Keep only the first-level seeds at the assigned portfolio
+        ranks (0-based positions in the priority-ranked first level).
+
+        Runs once, immediately after the root expands: the queue holds
+        exactly the first-level children at that point, so clearing it
+        and re-pushing the slice (in rank order) confines both the main
+        search and every later restart to this worker's partition.
+        """
+        allowed = self._seed_restriction
+        self._seed_restriction = None
+        ordered = self._ranked_first_level()
+        keep = [ordered[rank] for rank in allowed if rank < len(ordered)]
+        self.queue.clear()
+        self.observer.on_queue(0)
+        self.first_level = keep
+        for seed in keep:
+            self.queue.push(seed)
+            self.hot.queue_pushes += 1
+        self.observer.on_queue(len(self.queue))
+
     # -- restarts (Sec. IV-E) ----------------------------------------------------------
+
+    def _ranked_first_level(self) -> list[SearchNode]:
+        """The restart seed pool: first-level nodes by priority, best
+        first; ties keep creation order (``sorted`` is stable), which
+        is what makes seed *ranks* a deterministic addressing scheme
+        for the portfolio driver."""
+        return sorted(
+            self.first_level, key=lambda node: node.priority, reverse=True
+        )
 
     def _try_restart(self, forced: bool) -> bool:
         """Restart from the next untried first-level substitution.
@@ -452,9 +527,7 @@ class _Search:
             return False
         if not self.first_level:
             return False
-        ordered = sorted(
-            self.first_level, key=lambda node: node.priority, reverse=True
-        )
+        ordered = self._ranked_first_level()
         if self.next_restart_index >= len(ordered):
             return False
         seed = ordered[self.next_restart_index]
@@ -480,6 +553,110 @@ class _Search:
         return True
 
 
+@dataclass(frozen=True)
+class FirstLevelSeed:
+    """One ranked first-level substitution — a portfolio search seed.
+
+    ``rank`` is the 0-based position in the priority-ranked first level
+    (the order :meth:`_Search._try_restart` consumes serially); the
+    ``(target, factor)`` pair identifies the depth-1 gate, which is how
+    a finished circuit is matched back to the seed that produced it.
+    """
+
+    rank: int
+    target: int
+    factor: int
+    terms: int
+    elim: int
+    priority: float
+
+
+@dataclass
+class FirstLevel:
+    """Result of :func:`enumerate_first_level`.
+
+    ``shortcut`` is a complete :class:`SynthesisResult` when the
+    specification needs no portfolio at all — the identity function, or
+    a single-gate (depth-1) solution discovered during the root
+    expansion, which no deeper search can beat.
+    """
+
+    seeds: list[FirstLevelSeed]
+    shortcut: SynthesisResult | None = None
+
+
+def _finalize_search(search: _Search, reason: str, best) -> SynthesisResult:
+    """Seal a search that never entered (or already left) the loop."""
+    search._seal_hot_ops()
+    search.observer.on_finish(reason, search.stats)
+    search.stats.elapsed_seconds = search.deadline.elapsed()
+    circuit = None
+    if best is not None:
+        circuit = Circuit(search.system.num_vars, best.gate_sequence())
+    return SynthesisResult(
+        circuit=circuit,
+        stats=search.stats,
+        options=search.options,
+        num_vars=search.system.num_vars,
+        trace=search.trace,
+    )
+
+
+def enumerate_first_level(
+    specification,
+    options: SynthesisOptions | None = None,
+    **option_changes,
+) -> FirstLevel:
+    """Rank the root's first-level substitutions without searching.
+
+    This is the seed-enumeration step of the Sec. IV-E restart
+    heuristic, split out of the search loop so a portfolio driver (see
+    :mod:`repro.parallel`) can partition the ranked seeds across
+    workers.  The ranking is exactly the order ``_try_restart``
+    consumes serially: priority-sorted, creation order on ties.
+
+    Trivial specifications short-circuit: the identity function and
+    specifications solved by a single gate return a finished
+    ``shortcut`` result (depth 1 is unbeatable), with no seeds.
+    """
+    if options is None:
+        options = SynthesisOptions()
+    if option_changes:
+        options = options.with_(**option_changes)
+    system = _as_system(specification)
+    search = _Search(system, options)
+    if system.is_identity():
+        return FirstLevel(
+            seeds=[],
+            shortcut=_finalize_search(search, "identity", search.root),
+        )
+    search.queue.push(search.root)
+    search.hot.queue_pushes += 1
+    search.observer.on_queue(len(search.queue))
+    root = search.queue.pop()
+    search.hot.queue_pops += 1
+    search._expand(root)
+    if search.best_node is not None:
+        # A depth-1 solution is globally optimal — racing workers over
+        # the seed pool could only rediscover it.
+        return FirstLevel(
+            seeds=[],
+            shortcut=_finalize_search(search, "solved", search.best_node),
+        )
+    seeds = [
+        FirstLevelSeed(
+            rank=rank,
+            target=node.target,
+            factor=node.factor,
+            terms=node.terms,
+            elim=node.elim,
+            priority=node.priority,
+        )
+        for rank, node in enumerate(search._ranked_first_level())
+    ]
+    return FirstLevel(seeds=seeds)
+
+
 def synthesize(
     specification,
     options: SynthesisOptions | None = None,
@@ -492,6 +669,11 @@ def synthesize(
     :class:`PPRMSystem`.  Keyword arguments are shorthand for option
     fields, e.g. ``synthesize(spec, greedy_k=1, time_limit=60)``.
 
+    With ``portfolio_jobs`` set above 1 the call is dispatched to the
+    portfolio engine (:func:`repro.parallel.synthesize_portfolio`),
+    which races the ranked first-level seeds across worker processes;
+    see docs/parallel.md.
+
     Returns a :class:`SynthesisResult`; check ``result.solved`` (the
     heuristics may fail within a budget, Sec. IV-F).
     """
@@ -499,6 +681,16 @@ def synthesize(
         options = SynthesisOptions()
     if option_changes:
         options = options.with_(**option_changes)
+    if (
+        options.portfolio_jobs is not None
+        and options.portfolio_jobs > 1
+        and options.portfolio_seed_ranks is None
+    ):
+        # Workers re-enter synthesize() with their rank slice assigned;
+        # the seed_ranks guard keeps them on the serial path.
+        from repro.parallel.portfolio import synthesize_portfolio
+
+        return synthesize_portfolio(specification, options)
     system = _as_system(specification)
     search = _Search(system, options)
     best = search.run()

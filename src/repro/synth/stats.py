@@ -8,7 +8,7 @@ decisions, solutions).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 __all__ = ["SearchStats", "TraceEvent", "TraceRecorder"]
 
@@ -45,6 +45,41 @@ class SearchStats:
         can never silently drop out of experiment reports.
         """
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchStats":
+        """Rebuild stats from an :meth:`as_dict` snapshot (unknown keys
+        — e.g. from a newer worker — are ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another run's counters into this one (fleet totals).
+
+        Additive counters sum, ``peak_queue_size`` takes the max,
+        ``initial_terms`` keeps the first non-zero value (every
+        portfolio worker starts from the same root), the boolean flags
+        OR, and ``hot_ops`` merges key-wise.  ``finish_reason`` is the
+        caller's business — it depends on which run won.
+        """
+        for name in (
+            "steps", "nodes_created", "nodes_expanded",
+            "nodes_pruned_depth", "children_rejected_growth",
+            "children_pruned_greedy", "solutions_found", "restarts",
+            "visited_overflows",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.peak_queue_size = max(self.peak_queue_size, other.peak_queue_size)
+        self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+        if not self.initial_terms:
+            self.initial_terms = other.initial_terms
+        for flag in (
+            "timed_out", "step_limited", "memory_limited", "interrupted"
+        ):
+            setattr(self, flag, getattr(self, flag) or getattr(other, flag))
+        for key, value in other.hot_ops.items():
+            if isinstance(value, (int, float)):
+                self.hot_ops[key] = self.hot_ops.get(key, 0) + value
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,119 @@
+"""Property-based tests for the PPRM algebra.
+
+Hand-rolled properties over seeded generators (no external
+property-testing dependency): every case is deterministic and shrunk
+by construction — a failure prints the seed index and the exact
+substitution, which is enough to reproduce it in a REPL.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pprm.parser import parse_expansion, parse_system
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import enumerate_first_level
+from repro.synth.substitutions import enumerate_substitutions
+
+from conftest import random_spec
+
+#: Seeded generator cases: (seed-stream index, num_vars).
+_CASES = [(index, 3 + index % 3) for index in range(24)]
+
+
+def _system(index: int, num_vars: int):
+    """The ``index``-th seeded random reversible system on
+    ``num_vars`` variables."""
+    return random_spec(random.Random(0x5EED + index), num_vars).to_pprm()
+
+
+def _legal_substitutions(system, limit: int = 8):
+    """A deterministic sample of legal (target, factor) pairs."""
+    candidates = enumerate_substitutions(system, SynthesisOptions())
+    return [(c.target, c.factor) for c in candidates[:limit]]
+
+
+class TestSubstituteInvolution:
+    """``substitute`` is XOR-composition with a Toffoli gate, and a
+    Toffoli gate is self-inverse: applying the same substitution twice
+    must return the exact starting system."""
+
+    @pytest.mark.parametrize("index,num_vars", _CASES)
+    def test_double_substitute_is_identity(self, index, num_vars):
+        system = _system(index, num_vars)
+        for target, factor in _legal_substitutions(system):
+            once = system.substitute(target, factor)
+            twice = once.substitute(target, factor)
+            assert twice == system, (
+                f"seed {index}: substitute({target}, {factor:#x}) twice "
+                f"changed the system"
+            )
+
+    @pytest.mark.parametrize("index,num_vars", _CASES[:8])
+    def test_involution_on_outputs(self, index, num_vars):
+        system = _system(index, num_vars)
+        for target, factor in _legal_substitutions(system):
+            expansion = system.output(target)
+            assert expansion.substitute(target, factor).substitute(
+                target, factor
+            ) == expansion
+
+
+class TestElimMatchesTermDelta:
+    """The ranked first level reports each seed's ``elim`` (terms
+    eliminated); it must equal the actual term-count delta of applying
+    that seed's substitution, and ``terms`` must be the child's real
+    total."""
+
+    @pytest.mark.parametrize("index,num_vars", _CASES)
+    def test_first_level_elim_is_true_delta(self, index, num_vars):
+        system = _system(index, num_vars)
+        root_terms = system.term_count()
+        first = enumerate_first_level(system)
+        if first.shortcut is not None:
+            pytest.skip("spec solved during root expansion")
+        assert first.seeds, "non-trivial spec must rank at least one seed"
+        for seed in first.seeds:
+            child = system.substitute(seed.target, seed.factor)
+            assert seed.terms == child.term_count()
+            assert seed.elim == root_terms - child.term_count(), (
+                f"seed {index}: rank {seed.rank} reports elim={seed.elim}, "
+                f"actual delta is {root_terms - child.term_count()}"
+            )
+
+    @pytest.mark.parametrize("index,num_vars", _CASES[:8])
+    def test_ranking_is_priority_sorted(self, index, num_vars):
+        first = enumerate_first_level(_system(index, num_vars))
+        if first.shortcut is not None:
+            pytest.skip("spec solved during root expansion")
+        priorities = [seed.priority for seed in first.seeds]
+        assert priorities == sorted(priorities, reverse=True)
+        assert [seed.rank for seed in first.seeds] == list(
+            range(len(first.seeds))
+        )
+
+
+class TestParserRoundTrip:
+    """``parse_system``/``parse_expansion`` must round-trip the
+    renderers exactly, including mid-search systems (after a few
+    substitutions) whose expansions are not plain permutation PPRMs."""
+
+    @pytest.mark.parametrize("index,num_vars", _CASES)
+    def test_system_round_trip(self, index, num_vars):
+        system = _system(index, num_vars)
+        assert parse_system(str(system)) == system
+
+    @pytest.mark.parametrize("index,num_vars", _CASES[:12])
+    def test_substituted_system_round_trip(self, index, num_vars):
+        system = _system(index, num_vars)
+        for target, factor in _legal_substitutions(system, limit=3):
+            system = system.substitute(target, factor)
+        assert parse_system(str(system)) == system
+
+    @pytest.mark.parametrize("index,num_vars", _CASES[:12])
+    def test_expansion_round_trip(self, index, num_vars):
+        system = _system(index, num_vars)
+        for output in system.outputs:
+            assert parse_expansion(str(output)) == output
