@@ -56,6 +56,7 @@ def _options_from_args(args) -> SynthesisOptions:
         max_gates=args.max_gates,
         time_limit=args.time_limit,
         dedupe_states=not args.no_dedupe,
+        engine=args.engine,
     )
 
 
@@ -72,6 +73,15 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         help="wall-clock budget in seconds")
     parser.add_argument("--no-dedupe", action="store_true",
                         help="disable the duplicate-state table")
+    _add_engine_flag(parser)
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=["reference", "packed"],
+                        default=None,
+                        help="PPRM expansion backend (default: the "
+                             "RMRLS_ENGINE environment variable, then "
+                             "'reference'; see docs/architecture.md)")
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -322,6 +332,7 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             warmup=args.warmup,
             workload_name=args.workload_name,
+            engine=args.engine,
             progress=progress,
         )
     except ValueError as error:
@@ -494,7 +505,8 @@ def _cmd_table1(args) -> int:
             isolate=True, jobs=args.jobs, retry=RetryPolicy()
         )
     print(render_table1(
-        run_table1(sample=sample, seed=args.seed, harness=harness)
+        run_table1(sample=sample, seed=args.seed, harness=harness,
+                   engine=args.engine)
     ))
     return 0
 
@@ -502,7 +514,9 @@ def _cmd_table1(args) -> int:
 def _cmd_table2(args) -> int:
     from repro.experiments.table23 import render_table2, run_random_functions
 
-    result = run_random_functions(4, args.sample, seed=args.seed)
+    result = run_random_functions(
+        4, args.sample, seed=args.seed, engine=args.engine
+    )
     print(render_table2(result))
     return 0
 
@@ -510,7 +524,9 @@ def _cmd_table2(args) -> int:
 def _cmd_table3(args) -> int:
     from repro.experiments.table23 import render_table3, run_random_functions
 
-    result = run_random_functions(5, args.sample, seed=args.seed)
+    result = run_random_functions(
+        5, args.sample, seed=args.seed, engine=args.engine
+    )
     print(render_table3(result))
     return 0
 
@@ -519,7 +535,7 @@ def _cmd_table4(args) -> int:
     from repro.experiments.table4 import render_table4, run_table4
 
     names = args.names.split(",") if args.names else None
-    print(render_table4(run_table4(names)))
+    print(render_table4(run_table4(names, engine=args.engine)))
     return 0
 
 
@@ -531,7 +547,7 @@ def _cmd_scalability(args) -> int:
     )
     results = run_scalability(
         args.max_gates, variables=variables, samples=args.samples,
-        seed=args.seed,
+        seed=args.seed, engine=args.engine,
     )
     print(render_scalability(args.max_gates, results))
     return 0
@@ -616,7 +632,7 @@ def _cmd_sweep(args) -> int:
         sample = None if args.full else args.sample
         results = run_table1(
             sample=sample, seed=args.seed, strict=args.strict,
-            harness=harness, limit=args.limit,
+            harness=harness, limit=args.limit, engine=args.engine,
         )
         rendered = render_table1(results)
     elif target in ("table2", "table3"):
@@ -629,7 +645,7 @@ def _cmd_sweep(args) -> int:
         num_vars = 4 if target == "table2" else 5
         result = run_random_functions(
             num_vars, args.sample, seed=args.seed, strict=args.strict,
-            harness=harness, limit=args.limit,
+            harness=harness, limit=args.limit, engine=args.engine,
         )
         results = {result.name: result}
         rendered = (
@@ -641,7 +657,8 @@ def _cmd_sweep(args) -> int:
 
         names = args.names.split(",") if args.names else None
         outcomes = run_table4(
-            names, strict=args.strict, harness=harness, limit=args.limit
+            names, strict=args.strict, harness=harness, limit=args.limit,
+            engine=args.engine,
         )
         rendered = render_table4(outcomes)
     elif target == "scalability":
@@ -657,7 +674,7 @@ def _cmd_sweep(args) -> int:
         results = run_scalability(
             args.max_gates, variables=variables, samples=args.samples,
             seed=args.seed, strict=args.strict, harness=harness,
-            limit=args.limit,
+            limit=args.limit, engine=args.engine,
         )
         rendered = render_scalability(args.max_gates, results)
     else:  # pragma: no cover - argparse restricts choices
@@ -814,6 +831,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="report regressions but exit 0")
     bench.add_argument("--json", action="store_true",
                        help="print the report (and comparison) as JSON")
+    _add_engine_flag(bench)
     bench.set_defaults(handler=_cmd_bench)
 
     trace = commands.add_parser(
@@ -877,6 +895,7 @@ def main(argv: list[str] | None = None) -> int:
     table1.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run the RMRLS column on N isolated workers "
                              "(implies the fault-tolerant harness)")
+    _add_engine_flag(table1)
     table1.set_defaults(handler=_cmd_table1)
 
     for name, handler, default_sample in (
@@ -886,10 +905,12 @@ def main(argv: list[str] | None = None) -> int:
         sub = commands.add_parser(name, help=f"reproduce Table {name[-1]}")
         sub.add_argument("--sample", type=int, default=default_sample)
         sub.add_argument("--seed", type=int, default=2004)
+        _add_engine_flag(sub)
         sub.set_defaults(handler=handler)
 
     table4 = commands.add_parser("table4", help="reproduce Table IV")
     table4.add_argument("--names", help="comma-separated benchmark names")
+    _add_engine_flag(table4)
     table4.set_defaults(handler=_cmd_table4)
 
     scalability = commands.add_parser(
@@ -901,6 +922,7 @@ def main(argv: list[str] | None = None) -> int:
     scalability.add_argument("--variables",
                              help="comma-separated variable counts (6..16)")
     scalability.add_argument("--seed", type=int, default=2004)
+    _add_engine_flag(scalability)
     scalability.set_defaults(handler=_cmd_scalability)
 
     sweep = commands.add_parser(
@@ -932,6 +954,7 @@ def main(argv: list[str] | None = None) -> int:
                             "unsolved, raise, exit, hang, oom, unsound)")
     sweep.add_argument("--json", action="store_true",
                        help="print a machine-readable sweep report")
+    _add_engine_flag(sweep)
     _add_harness_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 

@@ -73,6 +73,7 @@ def run_table1(
     strict: bool = False,
     harness: HarnessConfig | None = None,
     limit: int | None = None,
+    engine: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Measure the Table I distributions.
 
@@ -85,6 +86,8 @@ def run_table1(
     """
     if harness is None:
         harness = harness_from_env()
+    if engine is not None:
+        options = options.with_(engine=engine)
     specs = _three_variable_sample(sample, seed)
     results: dict[str, ExperimentResult] = {}
 

@@ -185,17 +185,33 @@ def _run_portfolio(
     usual synthesis result."""
     from repro.synth.rmrls import synthesize
 
+    synth_options = options_from_payload(options)
     if "images" in payload:
         from repro.functions.permutation import Permutation
 
         spec = Permutation(payload["images"])
         system = spec.to_pprm()
+    elif "packed" in payload:
+        # The driver ships per-output big-int bitsets (the
+        # engine-agnostic wire form); unpack straight into the backend
+        # the search will run on instead of re-parsing text into sets.
+        from repro.pprm.engine import ENGINE_ENV_VAR, resolve_engine
+
+        spec = None
+        preference = synth_options.engine
+        if preference is None and not os.environ.get(
+            ENGINE_ENV_VAR, ""
+        ).strip():
+            preference = payload.get("engine")
+        engine = resolve_engine(preference)
+        system = engine.unpack_system(
+            payload["packed"], payload["num_vars"]
+        )
     else:
         from repro.pprm.parser import parse_system
 
         spec = None
         system = parse_system(payload["system"])
-    synth_options = options_from_payload(options)
     bound = (runtime or {}).get("bound")
     if bound is not None:
         synth_options = synth_options.with_(bound_channel=bound)

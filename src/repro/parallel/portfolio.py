@@ -158,8 +158,11 @@ def _spec_payload(specification, system) -> dict:
     """The JSON-safe spec a worker re-derives the system from.
 
     Permutations keep their image table (workers verify with
-    ``circuit.implements``); bare PPRM systems travel as parseable text
-    and verify by PPRM round-trip, as in the sweep runners.
+    ``circuit.implements``); bare PPRM systems travel as per-output
+    big-integer bitsets (the engine-agnostic wire form of
+    :meth:`repro.pprm.engine.PPRMEngine.pack`) so workers rebuild
+    state with integer unpacks instead of re-parsing text into sets.
+    They verify by PPRM round-trip, as in the sweep runners.
     """
     from repro.functions.permutation import Permutation
 
@@ -167,7 +170,12 @@ def _spec_payload(specification, system) -> dict:
         return {"images": list(specification.images)}
     if isinstance(specification, (list, tuple)):
         return {"images": [int(image) for image in specification]}
-    return {"system": str(system)}
+    engine = system.engine
+    return {
+        "packed": [engine.pack(output) for output in system.outputs],
+        "num_vars": system.num_vars,
+        "engine": system.engine_name,
+    }
 
 
 def _slice_outcome(task_outcome: TaskOutcome, slice_index, ranks):
@@ -242,7 +250,7 @@ def synthesize_portfolio(
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     started = time.monotonic()
-    system = _as_system(specification)
+    system = _as_system(specification, options.engine)
 
     # Seed enumeration runs in-process, without the caller's live
     # observers (workers repeat the root expansion under their own).

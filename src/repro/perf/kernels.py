@@ -37,15 +37,21 @@ __all__ = [
 _SEED = 0xBE7C4
 
 
-def _fixture_system(num_vars: int = 5, seed: int = _SEED):
+def _fixture_system(num_vars: int = 5, seed: int = _SEED, engine=None):
     """A mid-search-looking PPRM system: a seeded random permutation's
-    expansion, dense enough to exercise the term-rewrite loops."""
+    expansion, dense enough to exercise the term-rewrite loops.
+
+    ``engine`` converts the fixture to a specific expansion backend
+    (a resolved :class:`~repro.pprm.engine.PPRMEngine`); ``None``
+    keeps the reference frozenset form.
+    """
     from repro.functions.permutation import Permutation
 
     rng = random.Random(seed + num_vars)
     images = list(range(1 << num_vars))
     rng.shuffle(images)
-    return Permutation(images).to_pprm()
+    system = Permutation(images).to_pprm()
+    return system if engine is None else engine.convert_system(system)
 
 
 def _fixture_candidates(system, limit: int | None = None):
@@ -56,10 +62,10 @@ def _fixture_candidates(system, limit: int | None = None):
     return candidates if limit is None else candidates[:limit]
 
 
-def _fixture_child_systems(count: int):
+def _fixture_child_systems(count: int, engine=None):
     """Distinct systems one substitution away from the fixture root
     (the dedupe table's actual key population)."""
-    system = _fixture_system()
+    system = _fixture_system(engine=engine)
     children = []
     for candidate in _fixture_candidates(system):
         children.append(system.substitute(candidate.target, candidate.factor))
@@ -79,8 +85,8 @@ def _fixture_child_systems(count: int):
 # -- kernel bodies -------------------------------------------------------
 
 
-def _kernel_pprm_substitute(quick: bool):
-    system = _fixture_system()
+def _kernel_pprm_substitute(quick: bool, engine=None):
+    system = _fixture_system(engine=engine)
     candidates = _fixture_candidates(system)
     rounds = 4 if quick else 16
 
@@ -92,8 +98,8 @@ def _kernel_pprm_substitute(quick: bool):
     return body, rounds * len(candidates)
 
 
-def _kernel_expansion_xor(quick: bool):
-    system = _fixture_system(num_vars=6)
+def _kernel_expansion_xor(quick: bool, engine=None):
+    system = _fixture_system(num_vars=6, engine=engine)
     outputs = system.outputs
     pairs = [
         (outputs[i], outputs[j])
@@ -111,22 +117,25 @@ def _kernel_expansion_xor(quick: bool):
     return body, rounds * len(pairs)
 
 
-def _kernel_dedupe_probe(quick: bool):
-    population = _fixture_child_systems(64 if quick else 256)
+def _kernel_dedupe_probe(quick: bool, engine=None):
+    population = _fixture_child_systems(64 if quick else 256, engine=engine)
     rounds = 8 if quick else 16
 
     def body():
+        # Mirrors the search's visited table: probed and stored by the
+        # engine's canonical dedupe key, not by the system object.
         table: dict = {}
         for _ in range(rounds):
             for depth, system in enumerate(population):
-                known = table.get(system)
+                key = system.dedupe_key()
+                known = table.get(key)
                 if known is None or depth < known:
-                    table[system] = depth
+                    table[key] = depth
 
     return body, rounds * len(population)
 
 
-def _kernel_queue_churn(quick: bool):
+def _kernel_queue_churn(quick: bool, engine=None):
     from repro.synth.priority import MaxPriorityQueue
 
     class _Stub:
@@ -148,11 +157,11 @@ def _kernel_queue_churn(quick: bool):
     return body, 2 * len(nodes)
 
 
-def _kernel_enumerate(quick: bool):
+def _kernel_enumerate(quick: bool, engine=None):
     from repro.synth.options import SynthesisOptions
     from repro.synth.substitutions import enumerate_substitutions
 
-    systems = _fixture_child_systems(8 if quick else 32)
+    systems = _fixture_child_systems(8 if quick else 32, engine=engine)
     options = SynthesisOptions()
     rounds = 8 if quick else 16
 
@@ -164,7 +173,7 @@ def _kernel_enumerate(quick: bool):
     return body, rounds * len(systems)
 
 
-#: name -> factory(quick) -> (callable, ops_per_call)
+#: name -> factory(quick, engine) -> (callable, ops_per_call)
 KERNELS = {
     "pprm_substitute": _kernel_pprm_substitute,
     "expansion_xor": _kernel_expansion_xor,
@@ -180,15 +189,22 @@ def kernel_names() -> list[str]:
 
 def run_kernel(
     name: str, *, quick: bool = False, repeats: int | None = None,
-    warmup: int | None = None,
+    warmup: int | None = None, engine=None,
 ) -> TimingResult:
-    """Time one named kernel; see :func:`repro.perf.timing.time_callable`."""
+    """Time one named kernel; see :func:`repro.perf.timing.time_callable`.
+
+    ``engine`` picks the expansion backend the kernel's fixtures use
+    (name or engine instance; ``None`` honours ``RMRLS_ENGINE`` and
+    falls back to ``reference``).
+    """
+    from repro.pprm.engine import resolve_engine
+
     factory = KERNELS.get(name)
     if factory is None:
         raise ValueError(
             f"unknown kernel {name!r}; known: {', '.join(KERNELS)}"
         )
-    body, ops = factory(quick)
+    body, ops = factory(quick, resolve_engine(engine))
     if repeats is None:
         repeats = 7 if quick else 9
     if warmup is None:
@@ -199,7 +215,7 @@ def run_kernel(
 # -- workloads -----------------------------------------------------------
 
 
-def _workload_exhaustive3(quick: bool):
+def _workload_exhaustive3(quick: bool, engine=None):
     """A deterministic slice of the Table I sweep: synthesize seeded
     random 3-variable permutations back to back."""
     from repro.functions.permutation import Permutation
@@ -221,7 +237,7 @@ def _workload_exhaustive3(quick: bool):
         steps = 0
         for spec in specs:
             result = synthesize(
-                spec, max_steps=max_steps, dedupe_states=True
+                spec, max_steps=max_steps, dedupe_states=True, engine=engine
             )
             solved += result.solved
             steps += result.stats.steps
@@ -230,7 +246,7 @@ def _workload_exhaustive3(quick: bool):
     return body
 
 
-def _workload_rd53(quick: bool):
+def _workload_rd53(quick: bool, engine=None):
     """The rd53-class benchmark under the paper's greedy heuristics,
     step-capped so the workload is identical whether or not it solves."""
     from repro.benchlib.specs import benchmark
@@ -242,7 +258,7 @@ def _workload_rd53(quick: bool):
     def body():
         result = synthesize(
             system, greedy_k=3, restart_steps=1_000, max_steps=max_steps,
-            dedupe_states=True, stop_at_first=True,
+            dedupe_states=True, stop_at_first=True, engine=engine,
         )
         return {
             "solved": result.solved,
@@ -253,7 +269,7 @@ def _workload_rd53(quick: bool):
     return body
 
 
-def _workload_scalability_probe(quick: bool):
+def _workload_scalability_probe(quick: bool, engine=None):
     """One Sec. V-E-style probe: resynthesize a seeded random cascade
     on 8 lines.  The search runs to its hard step cap (no
     ``stop_at_first``) so every run performs the same amount of work —
@@ -269,6 +285,7 @@ def _workload_scalability_probe(quick: bool):
     def body():
         result = synthesize(
             system, greedy_k=3, restart_steps=5_000, max_steps=max_steps,
+            engine=engine,
         )
         return {
             "solved": result.solved,
@@ -293,7 +310,7 @@ def _fixture_portfolio_spec(num_vars: int, index: int):
     return Permutation(images)
 
 
-def _workload_portfolio(quick: bool):
+def _workload_portfolio(quick: bool, engine=None):
     """Serial vs 4-way portfolio race on a restart-heavy spec.
 
     Times the same seeded synthesis twice — once serial, once through
@@ -315,7 +332,7 @@ def _workload_portfolio(quick: bool):
     else:
         spec = _fixture_portfolio_spec(5, 5)
         kwargs = dict(greedy_k=2, restart_steps=500, max_steps=30_000)
-    kwargs.update(dedupe_states=True, stop_at_first=True)
+    kwargs.update(dedupe_states=True, stop_at_first=True, engine=engine)
     jobs = 4
 
     def body():
@@ -355,12 +372,45 @@ def _workload_portfolio(quick: bool):
     return body
 
 
-#: name -> factory(quick) -> zero-arg callable returning a summary dict.
+def _workload_engine_compare(quick: bool, engine=None):
+    """Head-to-head backend race on the two hottest kernels.
+
+    Times ``pprm_substitute`` and ``expansion_xor`` under both the
+    ``reference`` and ``packed`` engines (the ``engine`` argument is
+    ignored — this workload *is* the comparison) and publishes each
+    wall as a gated ``..._ns_per_op`` metric plus an informational
+    ``..._speedup`` ratio (reference / packed, higher is better for the
+    packed backend).  The trajectory lands in ``BENCH_engine.json``.
+    """
+
+    def body():
+        metrics: dict = {}
+        walls_by_kernel: dict = {}
+        for kernel in ("pprm_substitute", "expansion_xor"):
+            walls = {}
+            for backend in ("reference", "packed"):
+                timing = run_kernel(kernel, quick=quick, engine=backend)
+                walls[backend] = timing.ns_per_op
+                metrics[f"{kernel}_{backend}_ns_per_op"] = timing.ns_per_op
+            metrics[f"{kernel}_speedup"] = (
+                walls["reference"] / walls["packed"]
+                if walls["packed"]
+                else 0.0
+            )
+            walls_by_kernel[kernel] = walls
+        return {"kernels": walls_by_kernel, "metrics": metrics}
+
+    return body
+
+
+#: name -> factory(quick, engine) -> zero-arg callable returning a
+#: summary dict.
 WORKLOADS = {
     "exhaustive3": _workload_exhaustive3,
     "rd53": _workload_rd53,
     "scalability_probe": _workload_scalability_probe,
     "portfolio": _workload_portfolio,
+    "engine_compare": _workload_engine_compare,
 }
 
 
@@ -370,19 +420,27 @@ def workload_names() -> list[str]:
 
 def run_workload(
     name: str, *, quick: bool = False, repeats: int | None = None,
+    engine=None,
 ) -> dict:
     """Run one workload ``repeats`` times; return its summary section.
 
     The summary pairs the best (minimum) wall-clock with the hot-op
     counters of one repetition, from which the derived per-op figures
     (``ns_per_substitution``, ``steps_per_s``, ...) are computed.
+    ``engine`` selects the expansion backend the workload's syntheses
+    run on (name or engine instance; ``None`` defers to
+    ``RMRLS_ENGINE``).
     """
     factory = WORKLOADS.get(name)
     if factory is None:
         raise ValueError(
             f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
         )
-    body = factory(quick)
+    if engine is not None:
+        from repro.pprm.engine import resolve_engine
+
+        engine = resolve_engine(engine).name
+    body = factory(quick, engine)
     if repeats is None:
         repeats = 2 if quick else 3
     import time as _time

@@ -5,7 +5,19 @@ Product terms are ``int`` bit masks, single outputs are
 search state is a :class:`PPRMSystem` of one expansion per output.
 """
 
+from repro.pprm.engine import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    PackedEngine,
+    PPRMEngine,
+    ReferenceEngine,
+    default_engine_name,
+    get_engine,
+    resolve_engine,
+    resolve_search_engine,
+)
 from repro.pprm.expansion import Expansion
+from repro.pprm.packed import PACKED_MAX_VARS, PackedExpansion, tables_for
 from repro.pprm.parser import (
     format_expansion,
     format_system,
@@ -35,7 +47,19 @@ from repro.pprm.transform import (
 
 __all__ = [
     "Expansion",
+    "PACKED_MAX_VARS",
+    "PackedExpansion",
     "PPRMSystem",
+    "ENGINE_ENV_VAR",
+    "ENGINES",
+    "PPRMEngine",
+    "PackedEngine",
+    "ReferenceEngine",
+    "default_engine_name",
+    "get_engine",
+    "resolve_engine",
+    "resolve_search_engine",
+    "tables_for",
     "CONSTANT_ONE",
     "contains_variable",
     "evaluate_term",

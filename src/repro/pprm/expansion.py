@@ -35,6 +35,15 @@ class Expansion:
 
     def __init__(self, terms: Iterable[int] = ()):
         if isinstance(terms, frozenset):
+            # A frozenset of *distinct* masks is already canonical (no
+            # term can appear twice), so no XOR-cancellation pass is
+            # needed — but the contents still have to be term masks.
+            # Internal algebra bypasses this check via ``_make``.
+            for term in terms:
+                if type(term) is not int or term < 0:
+                    raise ValueError(
+                        f"term masks must be non-negative ints, got {term!r}"
+                    )
             self._terms = terms
         else:
             # XOR semantics: a term appearing an even number of times
@@ -42,29 +51,41 @@ class Expansion:
             # pass raw term lists from algebraic expansion.
             acc: set[int] = set()
             for term in terms:
+                if type(term) is not int or term < 0:
+                    raise ValueError(
+                        f"term masks must be non-negative ints, got {term!r}"
+                    )
                 if term in acc:
                     acc.discard(term)
                 else:
                     acc.add(term)
             self._terms = frozenset(acc)
 
+    @classmethod
+    def _make(cls, terms: frozenset) -> "Expansion":
+        # Trusted fast path for algebra results whose terms are already
+        # validated masks; skips ``__init__`` entirely.
+        self = object.__new__(cls)
+        self._terms = terms
+        return self
+
     # -- constructors ---------------------------------------------------
 
     @classmethod
     def zero(cls) -> "Expansion":
         """Return the constant-0 expansion (no terms)."""
-        return cls(frozenset())
+        return cls._make(frozenset())
 
     @classmethod
     def one(cls) -> "Expansion":
         """Return the constant-1 expansion."""
-        return cls(frozenset((CONSTANT_ONE,)))
+        return cls._make(frozenset((CONSTANT_ONE,)))
 
     @classmethod
     def variable(cls, index: int) -> "Expansion":
         """Return the expansion consisting of the single literal
         ``x_index``."""
-        return cls(frozenset((bit(index),)))
+        return cls._make(frozenset((bit(index),)))
 
     # -- basic queries --------------------------------------------------
 
@@ -101,12 +122,21 @@ class Expansion:
         """Return the largest literal count over all terms (0 if empty)."""
         return max((term.bit_count() for term in self._terms), default=0)
 
+    def dedupe_key(self) -> frozenset[int]:
+        """Canonical hashable identity: the term frozenset."""
+        return self._terms
+
+    def iter_terms(self) -> Iterator[int]:
+        """Yield term masks in increasing mask order (the canonical
+        enumeration order shared by every backend)."""
+        return iter(sorted(self._terms))
+
     # -- algebra ---------------------------------------------------------
 
     def __xor__(self, other: "Expansion") -> "Expansion":
         if not isinstance(other, Expansion):
             return NotImplemented
-        return Expansion(self._terms ^ other._terms)
+        return Expansion._make(self._terms ^ other._terms)
 
     def multiply_term(self, term: int) -> "Expansion":
         """Return the product of this expansion with a single term.
@@ -122,7 +152,7 @@ class Expansion:
                 result.discard(product)
             else:
                 result.add(product)
-        return Expansion(frozenset(result))
+        return Expansion._make(frozenset(result))
 
     def substitute(self, index: int, factor: int) -> "Expansion":
         """Apply the substitution ``x_index := x_index XOR factor``.
@@ -148,7 +178,7 @@ class Expansion:
                     delta.discard(new_term)
                 else:
                     delta.add(new_term)
-        return Expansion(self._terms ^ frozenset(delta))
+        return Expansion._make(self._terms ^ frozenset(delta))
 
     # -- evaluation -------------------------------------------------------
 

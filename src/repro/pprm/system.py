@@ -12,13 +12,26 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 
 from repro.pprm.expansion import Expansion
+from repro.pprm.packed import PackedExpansion
 from repro.pprm.term import variable_name
-from repro.pprm.transform import (
-    expansion_to_truth_vector,
-    truth_vector_to_expansion,
-)
+from repro.pprm.transform import expansion_to_truth_vector
 
 __all__ = ["PPRMSystem"]
+
+
+def _construction_engine(engine):
+    """Resolve a construction-time engine argument.
+
+    Unlike the search seam, spec *construction* defaults to the
+    ``reference`` backend even when ``RMRLS_ENGINE`` is set, so tests
+    and tools that compare against concrete :class:`Expansion` values
+    stay backend-stable; the env var takes effect when a search
+    converts its input system (see
+    :func:`repro.pprm.engine.resolve_search_engine`).
+    """
+    from repro.pprm.engine import resolve_engine
+
+    return resolve_engine(engine if engine is not None else "reference")
 
 
 class PPRMSystem:
@@ -39,12 +52,19 @@ class PPRMSystem:
     # -- constructors -----------------------------------------------------
 
     @classmethod
-    def identity(cls, num_vars: int) -> "PPRMSystem":
-        """Return the identity system ``v_out,i = v_i``."""
-        return cls([Expansion.variable(i) for i in range(num_vars)])
+    def identity(cls, num_vars: int, engine=None) -> "PPRMSystem":
+        """Return the identity system ``v_out,i = v_i``.
+
+        ``engine`` selects the expansion backend (name or
+        :class:`~repro.pprm.engine.PPRMEngine`); ``None`` means the
+        ``reference`` backend so that spec construction stays stable
+        regardless of the search-time engine choice.
+        """
+        engine = _construction_engine(engine)
+        return cls([engine.variable(i, num_vars) for i in range(num_vars)])
 
     @classmethod
-    def from_permutation(cls, images: Sequence[int]) -> "PPRMSystem":
+    def from_permutation(cls, images: Sequence[int], engine=None) -> "PPRMSystem":
         """Build the PPRM system of a reversible specification.
 
         ``images[m]`` is the output assignment for input assignment
@@ -52,8 +72,10 @@ class PPRMSystem:
         bijectivity of ``images`` is *not* checked here (use
         :class:`repro.functions.Permutation` for validated
         specifications) so that experiment code can also expand
-        non-bijective systems for analysis.
+        non-bijective systems for analysis.  ``engine`` picks the
+        expansion backend (``None`` = ``reference``).
         """
+        engine = _construction_engine(engine)
         size = len(images)
         num_vars = (size - 1).bit_length()
         if size != 1 << num_vars or size < 2:
@@ -61,7 +83,7 @@ class PPRMSystem:
         outputs = []
         for index in range(num_vars):
             vector = [images[m] >> index & 1 for m in range(size)]
-            outputs.append(truth_vector_to_expansion(vector))
+            outputs.append(engine.from_truth_vector(vector))
         return cls(outputs)
 
     # -- queries -----------------------------------------------------------
@@ -79,6 +101,30 @@ class PPRMSystem:
     def output(self, index: int) -> Expansion:
         """Return the expansion of output variable ``index``."""
         return self._outputs[index]
+
+    @property
+    def engine_name(self) -> str:
+        """Name of the expansion backend the outputs are stored in."""
+        if isinstance(self._outputs[0], PackedExpansion):
+            return "packed"
+        return "reference"
+
+    @property
+    def engine(self):
+        """The :class:`~repro.pprm.engine.PPRMEngine` of the outputs."""
+        from repro.pprm.engine import ENGINES
+
+        return ENGINES[self.engine_name]
+
+    def dedupe_key(self) -> tuple:
+        """Canonical hashable identity for search visited tables.
+
+        One per-output backend key each (frozenset of masks for the
+        reference backend, raw bitset int for the packed backend); the
+        two backends produce distinct but internally consistent keys,
+        and a search never mixes backends in one table.
+        """
+        return tuple(output.dedupe_key() for output in self._outputs)
 
     def term_count(self) -> int:
         """Total number of terms across all outputs (the paper's

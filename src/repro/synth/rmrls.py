@@ -36,6 +36,7 @@ from repro.obs.observer import (
     TraceObserver,
 )
 from repro.perf.hotops import HotOpCounters, global_counters
+from repro.pprm.engine import resolve_search_engine
 from repro.pprm.system import PPRMSystem
 from repro.synth.node import SearchNode
 from repro.synth.options import SynthesisOptions
@@ -95,17 +96,25 @@ class SynthesisResult:
         )
 
 
-def _as_system(specification) -> PPRMSystem:
+def _as_system(specification, engine=None) -> PPRMSystem:
+    """Normalize a specification to a PPRMSystem on the search engine.
+
+    ``engine`` is the search preference (``SynthesisOptions.engine``);
+    see :func:`repro.pprm.engine.resolve_search_engine` for the
+    preference / ``RMRLS_ENGINE`` / as-built resolution order.
+    """
     if isinstance(specification, PPRMSystem):
-        return specification
-    if isinstance(specification, Permutation):
-        return specification.to_pprm()
-    if isinstance(specification, Sequence):
-        return Permutation(specification).to_pprm()
-    raise TypeError(
-        "specification must be a PPRMSystem, Permutation, or image list; "
-        f"got {type(specification).__name__}"
-    )
+        system = specification
+    elif isinstance(specification, Permutation):
+        system = specification.to_pprm()
+    elif isinstance(specification, Sequence):
+        system = Permutation(specification).to_pprm()
+    else:
+        raise TypeError(
+            "specification must be a PPRMSystem, Permutation, or image "
+            f"list; got {type(specification).__name__}"
+        )
+    return resolve_search_engine(engine, system).convert_system(system)
 
 
 class _Search:
@@ -149,9 +158,11 @@ class _Search:
         # Depth-aware duplicate table: state -> shallowest depth seen.
         # A state reached again at the same or a greater depth leads to
         # the same or a worse subtree, so the duplicate can be dropped
-        # without losing solutions.
-        self.visited: dict[PPRMSystem, int] | None = (
-            {system: 0} if options.dedupe_states else None
+        # without losing solutions.  Keys are the engine's canonical
+        # dedupe form (term frozensets for reference, raw bitset ints
+        # for packed); one search never mixes backends in this table.
+        self.visited: dict | None = (
+            {system.dedupe_key(): 0} if options.dedupe_states else None
         )
 
     # -- node plumbing ----------------------------------------------------
@@ -357,18 +368,19 @@ class _Search:
                     continue
             if self.visited is not None:
                 hot.dedupe_probes += 1
+                child_key = child_system.dedupe_key()
                 if phases is None:
-                    known_depth = self.visited.get(child_system)
+                    known_depth = self.visited.get(child_key)
                     if known_depth is not None and known_depth <= depth:
                         hot.dedupe_hits += 1
                         continue
-                    self._visited_record(known_depth, child_system, depth)
+                    self._visited_record(known_depth, child_key, depth)
                 else:
                     start = clock()
-                    known_depth = self.visited.get(child_system)
+                    known_depth = self.visited.get(child_key)
                     duplicate = known_depth is not None and known_depth <= depth
                     if not duplicate:
-                        self._visited_record(known_depth, child_system, depth)
+                        self._visited_record(known_depth, child_key, depth)
                     phases.add("dedupe", clock() - start)
                     if duplicate:
                         hot.dedupe_hits += 1
@@ -419,9 +431,9 @@ class _Search:
             self._restrict_first_level()
         parent.release_pprm()
 
-    def _visited_record(self, known_depth, child_system, depth) -> None:
-        """Record ``child_system`` in the duplicate table, honoring the
-        optional entry cap.
+    def _visited_record(self, known_depth, child_key, depth) -> None:
+        """Record a child's dedupe key in the duplicate table, honoring
+        the optional entry cap.
 
         Updating an already-known state (at a shallower depth) is always
         allowed — it does not grow the table; only brand-new entries are
@@ -437,7 +449,7 @@ class _Search:
             self.observer.on_guard(GUARD_VISITED_OVERFLOW)
             return
         self.hot.dedupe_inserts += 1
-        self.visited[child_system] = depth
+        self.visited[child_key] = depth
 
     def _make_child(
         self, parent, candidate, child_system, terms, elim, priority
@@ -623,7 +635,7 @@ def enumerate_first_level(
         options = SynthesisOptions()
     if option_changes:
         options = options.with_(**option_changes)
-    system = _as_system(specification)
+    system = _as_system(specification, options.engine)
     search = _Search(system, options)
     if system.is_identity():
         return FirstLevel(
@@ -691,7 +703,7 @@ def synthesize(
         from repro.parallel.portfolio import synthesize_portfolio
 
         return synthesize_portfolio(specification, options)
-    system = _as_system(specification)
+    system = _as_system(specification, options.engine)
     search = _Search(system, options)
     best = search.run()
     search.stats.elapsed_seconds = search.deadline.elapsed()

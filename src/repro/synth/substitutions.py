@@ -62,12 +62,14 @@ def enumerate_substitutions(
             # Output already solved; un-solving a line is never
             # productive.
             continue
-        seen: set[int] = set()
-        if linear_present or options.extended_substitutions:
-            for factor in expansion.terms:
+        factor_terms_used = linear_present or options.extended_substitutions
+        if factor_terms_used:
+            # Canonical increasing-mask order (iter_terms) so every
+            # backend enumerates — and therefore tie-breaks — the same
+            # way; the frozenset backend used to iterate in hash order.
+            for factor in expansion.iter_terms():
                 if factor & target_bit:
                     continue
-                seen.add(factor)
                 candidates.append(
                     Candidate(
                         target=target,
@@ -75,7 +77,12 @@ def enumerate_substitutions(
                         allow_growth=popcount(factor) <= exempt,
                     )
                 )
-        if options.complement_substitutions and CONSTANT_ONE not in seen:
+        # The complement factor is skipped only when the loop above
+        # already emitted it, i.e. when the expansion carries the
+        # constant-1 term (CONSTANT_ONE never contains the target bit).
+        if options.complement_substitutions and not (
+            factor_terms_used and expansion.contains_term(CONSTANT_ONE)
+        ):
             candidates.append(
                 Candidate(
                     target=target,

@@ -1,0 +1,267 @@
+"""Differential tests: the packed engine against the reference oracle.
+
+The ``reference`` frozenset backend is the ground truth.  These tests
+drive both engines through the same seeded inputs — algebra, queries,
+serialization, candidate enumeration, and full synthesis — and demand
+bit-identical behaviour everywhere the engine seam promises it.
+"""
+
+import random
+
+import pytest
+
+from repro.functions.permutation import Permutation, random_permutation
+from repro.pprm import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    PACKED_MAX_VARS,
+    PackedExpansion,
+    PPRMSystem,
+    get_engine,
+    resolve_engine,
+    resolve_search_engine,
+)
+from repro.pprm.engine import default_engine_name
+from repro.synth.options import SynthesisOptions
+from repro.synth.rmrls import synthesize
+from repro.synth.substitutions import enumerate_substitutions
+
+REFERENCE = ENGINES["reference"]
+PACKED = ENGINES["packed"]
+
+FAST = SynthesisOptions(dedupe_states=True, max_steps=20_000)
+
+
+def _random_terms(rng, num_vars, max_terms=12):
+    size = 1 << num_vars
+    count = rng.randrange(max_terms + 1)
+    return [rng.randrange(size) for _ in range(count)]
+
+
+def _pair(rng, num_vars):
+    """One (reference, packed) expansion pair over the same terms."""
+    terms = _random_terms(rng, num_vars)
+    return (
+        REFERENCE.from_terms(terms, num_vars),
+        PACKED.from_terms(terms, num_vars),
+    )
+
+
+def _same(ref, packed):
+    """Bit-identical: same terms, same canonical order, same string."""
+    assert list(ref.iter_terms()) == list(packed.iter_terms())
+    assert str(ref) == str(packed)
+    assert len(ref) == len(packed)
+
+
+class TestAlgebraDifferential:
+    def test_xor_matches(self):
+        rng = random.Random(11)
+        for _ in range(200):
+            num_vars = rng.randint(1, 6)
+            ref_a, packed_a = _pair(rng, num_vars)
+            ref_b, packed_b = _pair(rng, num_vars)
+            _same(ref_a ^ ref_b, packed_a ^ packed_b)
+
+    def test_multiply_term_matches(self):
+        rng = random.Random(12)
+        for _ in range(200):
+            num_vars = rng.randint(1, 6)
+            ref, packed = _pair(rng, num_vars)
+            factor = rng.randrange(1 << num_vars)
+            _same(ref.multiply_term(factor), packed.multiply_term(factor))
+
+    def test_substitute_matches(self):
+        rng = random.Random(13)
+        for _ in range(300):
+            num_vars = rng.randint(2, 6)
+            ref, packed = _pair(rng, num_vars)
+            index = rng.randrange(num_vars)
+            factor = rng.randrange(1 << num_vars) & ~(1 << index)
+            _same(
+                ref.substitute(index, factor),
+                packed.substitute(index, factor),
+            )
+
+    def test_substitute_rejects_target_in_factor_identically(self):
+        ref = REFERENCE.from_terms([3], 2)
+        packed = PACKED.from_terms([3], 2)
+        with pytest.raises(ValueError) as ref_error:
+            ref.substitute(0, 3)
+        with pytest.raises(ValueError) as packed_error:
+            packed.substitute(0, 3)
+        assert str(ref_error.value) == str(packed_error.value)
+
+    def test_queries_match(self):
+        rng = random.Random(14)
+        for _ in range(200):
+            num_vars = rng.randint(1, 6)
+            ref, packed = _pair(rng, num_vars)
+            assert ref.term_count() == packed.term_count()
+            assert ref.is_zero() == packed.is_zero()
+            assert ref.support() == packed.support()
+            assert ref.degree() == packed.degree()
+            for index in range(num_vars):
+                assert ref.is_variable(index) == packed.is_variable(index)
+            probe = rng.randrange(1 << num_vars)
+            assert ref.contains_term(probe) == packed.contains_term(probe)
+
+    def test_evaluate_matches(self):
+        rng = random.Random(15)
+        for _ in range(100):
+            num_vars = rng.randint(1, 5)
+            ref, packed = _pair(rng, num_vars)
+            for assignment in range(1 << num_vars):
+                assert ref.evaluate(assignment) == packed.evaluate(assignment)
+
+
+class TestSerializationDifferential:
+    def test_pack_agrees_across_engines(self):
+        rng = random.Random(16)
+        for _ in range(100):
+            num_vars = rng.randint(1, 6)
+            ref, packed = _pair(rng, num_vars)
+            assert REFERENCE.pack(ref) == PACKED.pack(packed)
+
+    def test_unpack_round_trips_both_ways(self):
+        rng = random.Random(17)
+        for _ in range(100):
+            num_vars = rng.randint(1, 6)
+            ref, packed = _pair(rng, num_vars)
+            bits = PACKED.pack(packed)
+            _same(REFERENCE.unpack(bits, num_vars), packed)
+            _same(ref, PACKED.unpack(REFERENCE.pack(ref), num_vars))
+
+    def test_convert_round_trip(self):
+        rng = random.Random(18)
+        for _ in range(50):
+            num_vars = rng.randint(1, 6)
+            ref, packed = _pair(rng, num_vars)
+            there = PACKED.convert(ref, num_vars)
+            _same(ref, there)
+            back = REFERENCE.convert(there, num_vars)
+            assert back == ref
+
+    def test_dedupe_keys_discriminate_identically(self):
+        rng = random.Random(19)
+        pairs = [_pair(rng, 4) for _ in range(100)]
+        for ref_a, packed_a in pairs:
+            for ref_b, packed_b in pairs:
+                same_ref = ref_a.dedupe_key() == ref_b.dedupe_key()
+                same_packed = packed_a.dedupe_key() == packed_b.dedupe_key()
+                assert same_ref == same_packed
+
+
+class TestSystemDifferential:
+    def test_from_permutation_matches(self):
+        rng = random.Random(20)
+        for _ in range(40):
+            num_vars = rng.randint(2, 5)
+            permutation = random_permutation(num_vars, rng)
+            ref = PPRMSystem.from_permutation(permutation.images)
+            packed = PPRMSystem.from_permutation(
+                permutation.images, engine="packed"
+            )
+            assert ref.engine_name == "reference"
+            assert packed.engine_name == "packed"
+            assert str(ref) == str(packed)
+            assert ref.dedupe_key() != ()  # sanity: keys exist
+            for assignment in range(1 << num_vars):
+                assert ref.evaluate(assignment) == packed.evaluate(assignment)
+
+    def test_candidate_enumeration_matches(self):
+        options = SynthesisOptions(
+            extended_substitutions=True, complement_substitutions=True
+        )
+        rng = random.Random(21)
+        for _ in range(25):
+            permutation = random_permutation(3, rng)
+            ref = PPRMSystem.from_permutation(permutation.images)
+            packed = PPRMSystem.from_permutation(
+                permutation.images, engine="packed"
+            )
+            ref_candidates = [
+                (c.target, c.factor, c.allow_growth)
+                for c in enumerate_substitutions(ref, options)
+            ]
+            packed_candidates = [
+                (c.target, c.factor, c.allow_growth)
+                for c in enumerate_substitutions(packed, options)
+            ]
+            assert ref_candidates == packed_candidates
+
+
+class TestSynthesisDifferential:
+    def test_byte_identical_cascades_on_quick_suite(self):
+        """Both engines must produce the same circuit, gate for gate."""
+        rng = random.Random(2004)
+        suite = [random_permutation(3, rng) for _ in range(12)]
+        suite.append(Permutation([1, 0, 7, 2, 3, 4, 5, 6]))  # Example 1
+        suite.append(Permutation([7, 0, 1, 2, 3, 4, 5, 6]))
+        for permutation in suite:
+            ref = synthesize(permutation, FAST.with_(engine="reference"))
+            packed = synthesize(permutation, FAST.with_(engine="packed"))
+            assert ref.solved == packed.solved
+            assert ref.stats.steps == packed.stats.steps
+            if ref.circuit is None:
+                continue
+            assert str(ref.circuit) == str(packed.circuit)
+            assert packed.circuit.implements(permutation)
+
+    def test_greedy_options_also_match(self):
+        options = FAST.with_(greedy_k=3, restart_steps=5_000)
+        rng = random.Random(7)
+        for permutation in [random_permutation(3, rng) for _ in range(6)]:
+            ref = synthesize(permutation, options.with_(engine="reference"))
+            packed = synthesize(permutation, options.with_(engine="packed"))
+            assert ref.solved == packed.solved
+            if ref.circuit is not None:
+                assert str(ref.circuit) == str(packed.circuit)
+
+
+class TestEngineResolution:
+    def test_get_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            get_engine("turbo")
+
+    def test_resolve_engine_accepts_instances_and_names(self):
+        assert resolve_engine("packed") is PACKED
+        assert resolve_engine(PACKED) is PACKED
+        with pytest.raises(TypeError):
+            resolve_engine(42)
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "packed")
+        assert default_engine_name() == "packed"
+        monkeypatch.delenv(ENGINE_ENV_VAR)
+        assert default_engine_name() == "reference"
+
+    def test_options_preference_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "packed")
+        system = PPRMSystem.from_permutation([0, 1, 3, 2])
+        assert resolve_search_engine("reference", system) is REFERENCE
+        assert resolve_search_engine(None, system) is PACKED
+        monkeypatch.delenv(ENGINE_ENV_VAR)
+        assert resolve_search_engine(None, system) is REFERENCE
+
+    def test_packed_input_is_not_downgraded(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        system = PPRMSystem.from_permutation([0, 1, 3, 2], engine="packed")
+        assert resolve_search_engine(None, system) is PACKED
+
+    def test_env_packed_falls_back_on_overwide_systems(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "packed")
+
+        class Wide:
+            num_vars = PACKED_MAX_VARS + 6
+            engine = REFERENCE
+
+        assert resolve_search_engine(None, Wide()) is REFERENCE
+
+    def test_packed_width_guard(self):
+        with pytest.raises(ValueError, match="at most"):
+            PackedExpansion(0, PACKED_MAX_VARS + 1)
+
+    def test_options_validate_engine_eagerly(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SynthesisOptions(engine="turbo")

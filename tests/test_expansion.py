@@ -117,3 +117,38 @@ class TestQueriesAndDunder:
     def test_evaluate_constant(self):
         assert Expansion.one().evaluate(0) == 1
         assert Expansion.zero().evaluate(7) == 0
+
+
+class TestInputValidation:
+    """Regression: the constructor must not trust its input.
+
+    The frozenset fast path used to adopt *any* frozenset wholesale,
+    letting malformed "expansions" (negative masks, strings, floats)
+    flow into the algebra and fail far from the construction site.
+    """
+
+    def test_frozenset_with_negative_mask_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Expansion(frozenset({-1}))
+
+    def test_frozenset_with_non_int_rejected(self):
+        with pytest.raises(ValueError, match="term masks"):
+            Expansion(frozenset({"ab"}))
+
+    def test_iterable_with_float_rejected(self):
+        with pytest.raises(ValueError, match="term masks"):
+            Expansion([1.5])
+
+    def test_bool_masks_rejected(self):
+        # bool is an int subclass; masks must be real ints so that
+        # formatting and sorting behave predictably.
+        with pytest.raises(ValueError, match="term masks"):
+            Expansion([True])
+
+    def test_negative_mask_in_list_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Expansion([3, -2])
+
+    def test_valid_frozenset_still_adopted(self):
+        terms = frozenset({0, 3, 5})
+        assert Expansion(terms).terms == terms
