@@ -63,10 +63,11 @@ class _Attempt:
     __slots__ = (
         "task", "attempt", "process", "conn",
         "started", "deadline", "killed", "cancelled", "prior_elapsed",
+        "span",
     )
 
     def __init__(self, task, attempt, process, conn, started, deadline,
-                 prior_elapsed):
+                 prior_elapsed, span=None):
         self.task = task
         self.attempt = attempt
         self.process = process
@@ -76,18 +77,24 @@ class _Attempt:
         self.killed = False
         self.cancelled = False
         self.prior_elapsed = prior_elapsed
+        self.span = span
 
 
 class _Pending:
     """A task waiting for a worker slot (possibly in retry backoff)."""
 
-    __slots__ = ("task", "attempt", "ready_at", "prior_elapsed")
+    __slots__ = ("task", "attempt", "ready_at", "prior_elapsed", "retry_of")
 
-    def __init__(self, task, attempt=1, ready_at=0.0, prior_elapsed=0.0):
+    def __init__(self, task, attempt=1, ready_at=0.0, prior_elapsed=0.0,
+                 retry_of=None):
         self.task = task
         self.attempt = attempt
         self.ready_at = ready_at
         self.prior_elapsed = prior_elapsed
+        # Span id of the previous attempt (tracing only): a retried
+        # task keeps its trace_id but each attempt gets a fresh span,
+        # linked back through a ``retry_of`` attribute.
+        self.retry_of = retry_of
 
 
 def _default_context():
@@ -114,6 +121,7 @@ class WorkerPool:
         retry: RetryPolicy | None = None,
         context=None,
         clock=time.monotonic,
+        trace=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -122,8 +130,27 @@ class WorkerPool:
         self.retry = retry if retry is not None else RetryPolicy()
         self._ctx = context if context is not None else _default_context()
         self._clock = clock
+        # Optional coordinator-side TraceSession (repro.obs.spans).
+        # When set, every attempt gets its own span and the worker
+        # inherits a wire context making that span its parent.
+        self.trace = trace
 
     # -- process plumbing --------------------------------------------------
+
+    def _attempt_span(self, pending: _Pending):
+        """Coordinator-side span for one launch (or ``None`` untraced)."""
+        if self.trace is None:
+            return None
+        task = pending.task
+        attrs = {"task_id": task.task_id, "attempt": pending.attempt}
+        if "slice" in task.meta:
+            attrs["slice"] = task.meta["slice"]
+        if pending.retry_of is not None:
+            attrs["retry_of"] = pending.retry_of
+        parent = (task.trace or {}).get("span_id")
+        return self.trace.begin_span(
+            f"attempt:{task.label()}", parent=parent, **attrs
+        )
 
     def _launch(self, pending: _Pending) -> _Attempt:
         task = pending.task
@@ -131,11 +158,19 @@ class WorkerPool:
         mem = self.retry.escalate_mem(
             self.budget.mem_limit_mb, pending.attempt
         )
+        span = self._attempt_span(pending)
+        if span is not None:
+            trace_wire = self.trace.context_for(span)
+        else:
+            # A pool without its own session still forwards the task's
+            # inherited context, so workers trace even when the
+            # coordinator side does not.
+            trace_wire = task.trace
         receiver, sender = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_entry,
             args=(sender, task.kind, task.payload, options,
-                  pending.attempt, mem, task.runtime),
+                  pending.attempt, mem, task.runtime, trace_wire),
             daemon=True,
         )
         process.start()
@@ -147,7 +182,7 @@ class WorkerPool:
         deadline = None if wall is None else started + wall
         return _Attempt(
             task, pending.attempt, process, receiver, started, deadline,
-            pending.prior_elapsed,
+            pending.prior_elapsed, span,
         )
 
     def _conclude(self, running: _Attempt) -> dict:
@@ -220,6 +255,7 @@ class WorkerPool:
         running: list[_Attempt] = []
         finished: list[TaskOutcome] = []
         poll_cap = 0.05 if stop_check is not None else None
+        last_sched = None
         try:
             while pending or running:
                 if stop_check is not None and stop_check():
@@ -227,6 +263,14 @@ class WorkerPool:
                     break
                 now = self._clock()
                 self._fill_slots(pending, running, now)
+                if self.trace is not None:
+                    sched = (len(pending), len(running), len(finished))
+                    if sched != last_sched:
+                        last_sched = sched
+                        self.trace.event(
+                            "sched", pending=sched[0], running=sched[1],
+                            finished=sched[2],
+                        )
                 self._wait(pending, running, now, poll_cap)
                 now = self._clock()
                 for attempt in list(running):
@@ -305,9 +349,23 @@ class WorkerPool:
         elif timeout:
             time.sleep(min(timeout, 0.05))
 
+    def _end_span(self, attempt, status) -> None:
+        if attempt.span is None:
+            return
+        attrs = {}
+        if attempt.cancelled:
+            # SIGKILLed by the stop condition: the span's end time is
+            # the moment the loser actually died, which trace_view
+            # turns into per-slice cancellation latency.
+            attrs["cancelled"] = True
+        elif attempt.killed:
+            attrs["killed"] = True
+        attempt.span.end(status=status, **attrs)
+
     def _settle(self, attempt, now, pending, finished, on_final) -> None:
         raw = self._conclude(attempt)
         status = raw["status"]
+        self._end_span(attempt, status)
         elapsed = attempt.prior_elapsed + (now - attempt.started)
         if self.retry.should_retry(status, attempt.attempt):
             ready_at = now + self.retry.backoff(
@@ -319,6 +377,10 @@ class WorkerPool:
                     attempt.attempt + 1,
                     ready_at,
                     elapsed,
+                    retry_of=(
+                        attempt.span.span_id
+                        if attempt.span is not None else None
+                    ),
                 )
             )
             return

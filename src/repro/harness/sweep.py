@@ -81,6 +81,10 @@ class HarnessConfig:
     strict: bool = False
     mp_context: str | None = None
     metrics: object | None = field(default=None, compare=False)
+    # Distributed-trace shard directory (repro.obs.spans).  When set,
+    # the sweep opens a coordinator session, every executed task gets
+    # an attempt span, and isolated workers write their own shards.
+    trace_dir: str | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -161,21 +165,37 @@ def _run_inline_attempt(task: Task, options: dict, attempt: int) -> dict:
         }
 
 
-def _run_inline(tasks, config, on_final, clock=time.monotonic) -> bool:
+def _run_inline(tasks, config, on_final, clock=time.monotonic,
+                trace=None) -> bool:
     """Run tasks in-process with the same retry ladder; returns True
     when interrupted."""
     retry = config.retry
     for task in tasks:
         attempt = 1
         elapsed = 0.0
+        span = None
+        retry_of = None
         try:
             while True:
+                if trace is not None:
+                    attrs = {"task_id": task.task_id, "attempt": attempt}
+                    if retry_of is not None:
+                        attrs["retry_of"] = retry_of
+                    span = trace.begin_span(
+                        f"attempt:{task.label()}",
+                        parent=(task.trace or {}).get("span_id"),
+                        **attrs,
+                    )
                 start = clock()
                 raw = _run_inline_attempt(
                     task, retry.escalate_options(task.options, attempt),
                     attempt,
                 )
                 elapsed += clock() - start
+                if span is not None:
+                    span.end(status=raw["status"])
+                    retry_of = span.span_id
+                    span = None
                 status = raw["status"]
                 if status == STATUS_INTERRUPTED:
                     # The search caught Ctrl-C and returned a partial
@@ -278,6 +298,14 @@ def run_sweep(
             registry.counter("sweep_interrupts_total").inc()
         return report
 
+    session = None
+    root_span = None
+    if config.trace_dir:
+        from repro.obs.spans import TraceSession
+
+        session = TraceSession.create(config.trace_dir)
+        root_span = session.begin_span(f"sweep:{name}", tasks=len(tasks))
+
     pending: list[Task] = []
     try:
         for task in tasks:
@@ -293,6 +321,16 @@ def run_sweep(
 
         if not pending:
             return finish()
+
+        if session is not None:
+            # Every executed task hangs off the sweep's root span;
+            # replays did no work this run and get no spans.
+            pending = [
+                dataclasses.replace(
+                    task, trace=session.context_for(root_span)
+                )
+                for task in pending
+            ]
 
         if ledger is not None:
             ledger.open()
@@ -317,16 +355,24 @@ def run_sweep(
                         config.mp_context
                     )
                 ),
+                trace=session,
             )
             try:
                 pool.run(pending, on_final=on_final)
             except KeyboardInterrupt:
                 report.interrupted = True
         else:
-            if _run_inline(pending, config, on_final):
+            if _run_inline(pending, config, on_final, trace=session):
                 report.interrupted = True
         return finish()
     finally:
+        if session is not None:
+            if root_span is not None:
+                root_span.end(
+                    status="interrupted" if report.interrupted else "ok",
+                    completed=report.completed,
+                )
+            session.close()
         if ledger is not None:
             ledger.close()
 
@@ -344,7 +390,8 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
 
     Variables: ``RMRLS_ISOLATE`` (truthy enables subprocess isolation),
     ``RMRLS_SWEEP_JOBS``, ``RMRLS_RETRIES``, ``RMRLS_MEM_LIMIT_MB``,
-    ``RMRLS_WALL_LIMIT`` (seconds), ``RMRLS_LEDGER`` (path).
+    ``RMRLS_WALL_LIMIT`` (seconds), ``RMRLS_LEDGER`` (path),
+    ``RMRLS_TRACE_DIR`` (distributed-trace shard directory).
     """
     env = os.environ if environ is None else environ
     isolate = env.get("RMRLS_ISOLATE", "") not in ("", "0", "false", "no")
@@ -353,7 +400,8 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
     mem = env.get("RMRLS_MEM_LIMIT_MB")
     wall = env.get("RMRLS_WALL_LIMIT")
     ledger = env.get("RMRLS_LEDGER")
-    if not (isolate or jobs or retries or mem or wall or ledger):
+    trace_dir = env.get("RMRLS_TRACE_DIR")
+    if not (isolate or jobs or retries or mem or wall or ledger or trace_dir):
         return None
     return HarnessConfig(
         isolate=isolate,
@@ -363,6 +411,7 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
         retry=RetryPolicy(max_retries=int(retries)) if retries else
         RetryPolicy(),
         ledger_path=ledger or None,
+        trace_dir=trace_dir or None,
     )
 
 

@@ -213,8 +213,21 @@ def _run_portfolio(
         spec = None
         system = parse_system(payload["system"])
     bound = (runtime or {}).get("bound")
+    session = (runtime or {}).get("trace_session")
+    span = (runtime or {}).get("trace_span")
     if bound is not None:
+        if session is not None:
+            from repro.obs.spans import TracedBound
+
+            bound = TracedBound(bound, session, span)
         synth_options = synth_options.with_(bound_channel=bound)
+    if session is not None:
+        from repro.obs.spans import SpanProgressObserver
+
+        synth_options = synth_options.with_(
+            observers=synth_options.observers
+            + (SpanProgressObserver(session, span),)
+        )
     registry = None
     if payload.get("metrics"):
         from repro.obs import MetricsObserver, MetricsRegistry
@@ -341,13 +354,40 @@ def worker_entry(
     attempt: int,
     mem_limit_mb: int | None,
     runtime: dict | None = None,
+    trace: dict | None = None,
 ) -> None:
     """Subprocess entry point: run the task, send one result dict.
 
     Every exception is converted to a taxonomy status here so that the
     parent only has to deal with three cases: a result arrived, the
     process died silently, or the parent killed it.
+
+    ``trace`` is an optional wire-form
+    :class:`~repro.obs.spans.TraceContext`: the worker opens its own
+    JSONL shard (negotiating the clock offset at this handshake),
+    records a ``task:<kind>`` span around the whole payload, and hands
+    the live session to runtime-aware runners through
+    ``runtime["trace_session"]``/``runtime["trace_span"]`` so the
+    search can attach its bound and progress taps.  Tracing failures
+    never fail the task — the shard is best-effort by design.
     """
+    session = None
+    span = None
+    if trace is not None:
+        try:
+            from repro.obs.spans import WorkerTraceSession
+
+            session = WorkerTraceSession.from_wire(trace)
+            span = session.begin_span(
+                f"task:{kind}", parent=session.parent_span_id,
+                attempt=attempt,
+            )
+            runtime = dict(runtime or {})
+            runtime["trace_session"] = session
+            runtime["trace_span"] = span
+        except Exception:  # pragma: no cover - tracing must not kill work
+            session = None
+            span = None
     try:
         if mem_limit_mb is not None:
             apply_memory_limit(mem_limit_mb)
@@ -364,6 +404,13 @@ def worker_entry(
             "status": STATUS_CRASH,
             "error": traceback.format_exc(limit=20),
         }
+    if session is not None:
+        try:
+            if span is not None:
+                span.end(status=result.get("status", "ok"))
+            session.close()
+        except Exception:  # pragma: no cover - tracing must not kill work
+            pass
     try:
         conn.send(result)
     except (BrokenPipeError, OSError):

@@ -19,11 +19,39 @@ provides the protocol plus a toolbox of observers:
 * :func:`build_run_report` — a single versioned JSON document merging
   stats, metrics, phase timings, options, and environment info.
 
+Distributed tracing lives alongside the per-process observers:
+
+* :mod:`repro.obs.spans` — span sessions, the wire
+  :class:`TraceContext` that crosses the worker-pool boundary, and the
+  per-process JSONL shard writers;
+* :mod:`repro.obs.collate` — deterministic shard collation and the
+  ``rmrls-trace`` schema validator;
+* :mod:`repro.obs.trace_view` — text timeline, critical-path
+  attribution, flamegraph folded stacks, cancellation report;
+* :mod:`repro.obs.top` — the live ``rmrls top`` fleet dashboard;
+* :mod:`repro.obs.export` — OpenMetrics textfile export and
+  fleet-level derived metrics.
+
 Observers attach through ``SynthesisOptions.observers``; the phase
 timer through ``SynthesisOptions.phase_timer``.  With neither set the
 search pays only for its own counters, exactly as before the
 refactor.
 """
+
+from repro.obs.collate import (
+    TraceValidationError,
+    collate_shards,
+    collate_to_file,
+    load_collated,
+    validate_trace,
+    write_collated,
+)
+from repro.obs.export import (
+    derive_fleet_metrics,
+    parse_openmetrics,
+    render_openmetrics,
+    write_openmetrics,
+)
 
 from repro.obs.jsonl import JSONL_SCHEMA_VERSION, JsonlTraceObserver, ProgressObserver
 from repro.obs.metrics import (
@@ -55,7 +83,26 @@ from repro.obs.report import (
     validate_run_report,
     write_run_report,
 )
+from repro.obs.spans import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    ShardWriter,
+    SpanProgressObserver,
+    TraceContext,
+    TracedBound,
+    TraceSession,
+    WorkerTraceSession,
+    new_trace_id,
+)
+from repro.obs.top import FleetSnapshot, render_top, run_top, scan_shards
 from repro.obs.trace_summary import render_trace_summary, summarize_trace
+from repro.obs.trace_view import (
+    build_timeline,
+    cancellation_report,
+    critical_path,
+    folded_stacks,
+    render_trace_view,
+)
 
 __all__ = [
     "SearchObserver",
@@ -86,4 +133,32 @@ __all__ = [
     "write_run_report",
     "summarize_trace",
     "render_trace_summary",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "TraceContext",
+    "TraceSession",
+    "WorkerTraceSession",
+    "ShardWriter",
+    "TracedBound",
+    "SpanProgressObserver",
+    "new_trace_id",
+    "TraceValidationError",
+    "collate_shards",
+    "collate_to_file",
+    "load_collated",
+    "validate_trace",
+    "write_collated",
+    "build_timeline",
+    "critical_path",
+    "folded_stacks",
+    "cancellation_report",
+    "render_trace_view",
+    "FleetSnapshot",
+    "scan_shards",
+    "render_top",
+    "run_top",
+    "derive_fleet_metrics",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "write_openmetrics",
 ]

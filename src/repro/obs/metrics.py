@@ -21,18 +21,44 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsObserver",
+    "labeled_key",
 ]
+
+
+def labeled_key(name: str, labels: dict | None) -> str:
+    """The registry key for ``name`` under ``labels``.
+
+    Unlabeled metrics keep their bare name; labeled ones get the
+    Prometheus-style ``name{k="v",...}`` form with keys sorted, so the
+    same label set always maps to the same key.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _label_fields(name: str, labels: dict | None) -> dict:
+    # Snapshot entries for labeled metrics carry the base name and the
+    # label set so merge_snapshot can rebuild them; unlabeled entries
+    # keep the pre-label snapshot shape untouched.
+    if not labels:
+        return {}
+    return {"name": name, "labels": dict(labels)}
 
 
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
     kind = "counter"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -42,18 +68,22 @@ class Counter:
         self.value += amount
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "value": self.value}
+        return {
+            "kind": self.kind, "value": self.value,
+            **_label_fields(self.name, self.labels),
+        }
 
 
 class Gauge:
     """A value that can go up and down; remembers its maximum."""
 
-    __slots__ = ("name", "value", "max_value")
+    __slots__ = ("name", "value", "max_value", "labels")
 
     kind = "gauge"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.value = 0
         self.max_value = 0
 
@@ -64,7 +94,10 @@ class Gauge:
             self.max_value = value
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "value": self.value, "max": self.max_value}
+        return {
+            "kind": self.kind, "value": self.value, "max": self.max_value,
+            **_label_fields(self.name, self.labels),
+        }
 
 
 class Histogram:
@@ -76,17 +109,21 @@ class Histogram:
     enabled.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "minimum", "maximum",
+        "labels",
+    )
 
     kind = "histogram"
 
-    def __init__(self, name: str, bounds):
+    def __init__(self, name: str, bounds, labels: dict | None = None):
         bounds = tuple(bounds)
         if not bounds:
             raise ValueError("a histogram needs at least one bucket bound")
         if list(bounds) != sorted(set(bounds)):
             raise ValueError(f"bucket bounds must strictly increase: {bounds}")
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
@@ -118,6 +155,7 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            **_label_fields(self.name, self.labels),
         }
 
     def render(self, width: int = 40) -> str:
@@ -136,44 +174,62 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics with idempotent creation and dict snapshots."""
+    """Named metrics with idempotent creation and dict snapshots.
+
+    Metrics may carry a label set (``registry.counter("hits",
+    labels={"worker": "w1"})``); each distinct label set is its own
+    time series, keyed Prometheus-style as ``hits{worker="w1"}``.  The
+    OpenMetrics exporter (:mod:`repro.obs.export`) groups label sets of
+    the same base name into one metric family.
+    """
 
     def __init__(self):
         self._metrics: dict[str, object] = {}
+        #: Per-source tally of :meth:`merge_snapshot` calls — the
+        #: provenance record of which processes fed this registry.
+        self.merge_counts: dict[str, int] = {}
 
-    def _get_or_create(self, name: str, factory, kind: str):
-        metric = self._metrics.get(name)
+    def _get_or_create(self, name: str, labels, factory, kind: str):
+        key = labeled_key(name, labels)
+        metric = self._metrics.get(key)
         if metric is None:
             metric = factory()
-            self._metrics[name] = metric
+            self._metrics[key] = metric
         elif metric.kind != kind:
             raise ValueError(
-                f"metric {name!r} already registered as {metric.kind}"
+                f"metric {key!r} already registered as {metric.kind}"
             )
         return metric
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
-        return self._get_or_create(name, lambda: Counter(name), "counter")
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        """Get or create the counter ``name`` (under ``labels``)."""
+        return self._get_or_create(
+            name, labels, lambda: Counter(name, labels), "counter"
+        )
 
-    def gauge(self, name: str) -> Gauge:
-        """Get or create the gauge ``name``."""
-        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        """Get or create the gauge ``name`` (under ``labels``)."""
+        return self._get_or_create(
+            name, labels, lambda: Gauge(name, labels), "gauge"
+        )
 
-    def histogram(self, name: str, bounds=None) -> Histogram:
+    def histogram(
+        self, name: str, bounds=None, labels: dict | None = None,
+    ) -> Histogram:
         """Get or create the histogram ``name`` (``bounds`` required on
         first use; ignored afterwards)."""
-        metric = self._metrics.get(name)
+        key = labeled_key(name, labels)
+        metric = self._metrics.get(key)
         if metric is None:
             if bounds is None:
                 raise ValueError(
-                    f"histogram {name!r} needs bucket bounds on first use"
+                    f"histogram {key!r} needs bucket bounds on first use"
                 )
-            metric = Histogram(name, bounds)
-            self._metrics[name] = metric
+            metric = Histogram(name, bounds, labels)
+            self._metrics[key] = metric
         elif metric.kind != "histogram":
             raise ValueError(
-                f"metric {name!r} already registered as {metric.kind}"
+                f"metric {key!r} already registered as {metric.kind}"
             )
         return metric
 
@@ -191,7 +247,7 @@ class MetricsRegistry:
             name: self._metrics[name].as_dict() for name in self.names()
         }
 
-    def merge_snapshot(self, snapshot: dict) -> None:
+    def merge_snapshot(self, snapshot: dict, source: str | None = None) -> None:
         """Merge an :meth:`as_dict` snapshot into this registry.
 
         The cross-process aggregation primitive: subprocess workers
@@ -201,21 +257,41 @@ class MetricsRegistry:
         histograms add bucket counts (their bounds must match — a
         bounds mismatch means two code versions disagree about the
         metric and is reported loudly rather than merged wrongly).
+
+        ``source`` names where the snapshot came from (a slice label, a
+        worker shard, ...); each merge is tallied per source in
+        :attr:`merge_counts` so aggregates keep their provenance.  A
+        *negative* counter value in the snapshot is rejected before any
+        entry is applied — a corrupt or garbled snapshot must not
+        silently poison the aggregate.
         """
-        for name, data in snapshot.items():
+        origin = source if source is not None else "<anonymous>"
+        for key, data in snapshot.items():
+            if data.get("kind") == "counter" and data.get("value", 0) < 0:
+                raise ValueError(
+                    f"rejecting snapshot from {origin!r}: counter {key!r} "
+                    f"carries negative delta {data['value']} "
+                    f"(counters are monotone; this snapshot is corrupt)"
+                )
+        self.merge_counts[origin] = self.merge_counts.get(origin, 0) + 1
+        for key, data in snapshot.items():
             kind = data.get("kind")
+            name = data.get("name", key)
+            labels = data.get("labels")
             if kind == "counter":
-                self.counter(name).inc(data["value"])
+                self.counter(name, labels=labels).inc(data["value"])
             elif kind == "gauge":
-                gauge = self.gauge(name)
+                gauge = self.gauge(name, labels=labels)
                 gauge.set(data["value"])
                 if data.get("max", 0) > gauge.max_value:
                     gauge.max_value = data["max"]
             elif kind == "histogram":
-                histogram = self.histogram(name, data["bounds"])
+                histogram = self.histogram(
+                    name, data["bounds"], labels=labels
+                )
                 if list(histogram.bounds) != list(data["bounds"]):
                     raise ValueError(
-                        f"histogram {name!r} bounds mismatch: "
+                        f"histogram {key!r} bounds mismatch: "
                         f"{list(histogram.bounds)} vs {data['bounds']}"
                     )
                 for index, count in enumerate(data["counts"]):

@@ -36,8 +36,14 @@ def summarize_trace(stream, top: int = 10) -> dict:
     (``[{substitution, count}]`` sorted by count), ``queue_depth``
     (p50/p90/p99/max over pop-time samples), ``restarts``
     (``[{step, seed}]`` timeline), ``solutions``
-    (``[{step, node, depth}]``), and ``finish`` (reason + final stats,
-    when the trace ran to completion).
+    (``[{step, node, depth}]``), ``finish`` (reason + final stats,
+    when the trace ran to completion), and ``skipped_lines``.
+
+    Malformed lines — truncated JSON from a killed writer, interleaved
+    garbage, records without an ``event`` key — are skipped and
+    *counted*, never raised: a trace cut short by SIGKILL or OOM is a
+    normal artifact of the harness, and the partial summary (with its
+    skip count) is exactly what post-mortems need.
     """
     events: TallyCounter = TallyCounter()
     substitutions: TallyCounter = TallyCounter()
@@ -46,19 +52,20 @@ def summarize_trace(stream, top: int = 10) -> dict:
     solutions: list[dict] = []
     finish = None
     last_step = 0
-    for line_number, line in enumerate(stream, start=1):
+    skipped = 0
+    for line in stream:
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError as error:
-            raise ValueError(
-                f"line {line_number} is not valid JSON: {error}"
-            ) from None
-        kind = record.get("event")
-        if kind is None:
-            raise ValueError(f"line {line_number} has no 'event' key")
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(record, dict) or record.get("event") is None:
+            skipped += 1
+            continue
+        kind = record["event"]
         events[kind] += 1
         last_step = record.get("step", last_step)
         if kind == "child":
@@ -104,6 +111,7 @@ def summarize_trace(stream, top: int = 10) -> dict:
         "restarts": restarts,
         "solutions": solutions,
         "finish": finish,
+        "skipped_lines": skipped,
     }
 
 
@@ -117,6 +125,11 @@ def render_trace_summary(summary: dict) -> str:
             or "none"
         )
     )
+    if summary.get("skipped_lines"):
+        lines.append(
+            f"skipped {summary['skipped_lines']} malformed line(s) "
+            f"(truncated or interleaved trace)"
+        )
     depth = summary["queue_depth"]
     if depth["samples"]:
         lines.append(

@@ -1,0 +1,335 @@
+"""Render a collated trace: timeline, critical path, flamegraph export.
+
+``rmrls trace view`` turns the collated timeline of
+:mod:`repro.obs.collate` into the three artifacts people actually read:
+
+* a **text timeline** — the span tree with offsets/durations and an
+  ASCII gantt bar per span;
+* **critical-path attribution** — walking from the trace's root to its
+  latest-ending descendant, each span on that chain is charged its
+  *self* time (own duration minus the children-on-the-path overlap),
+  answering "where did the wall-clock actually go";
+* **folded stacks** — the ``root;child;grandchild <microseconds>``
+  lines Brendan-Gregg-style flamegraph tools ingest directly;
+* the **cancellation report** — for every slice the pool SIGKILLed
+  after an incumbent arrived, the latency between the
+  ``incumbent_arrived`` event and that loser's span end (the
+  fleet-level number nobody can compute per-process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TimelineSpan",
+    "build_timeline",
+    "render_timeline",
+    "critical_path",
+    "folded_stacks",
+    "cancellation_report",
+    "render_trace_view",
+]
+
+
+@dataclass
+class TimelineSpan:
+    """One span of the reconstructed tree."""
+
+    span_id: str
+    parent_id: str | None
+    name: str
+    process: str
+    start: float
+    end: float | None
+    status: str
+    attrs: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def duration(self, horizon: float | None = None) -> float:
+        end = self.end
+        if end is None:
+            end = horizon if horizon is not None else self.start
+        return max(0.0, end - self.start)
+
+
+def build_timeline(collated: dict) -> list[TimelineSpan]:
+    """Reconstruct the span forest from collated records.
+
+    Open spans (a ``start`` without an end — the worker died mid-span)
+    keep ``end=None``.  Events attach to their span when it exists,
+    otherwise to a synthetic root-level holder via the returned roots'
+    ``events``.  Returns the root spans sorted by start time.
+    """
+    spans: dict[str, TimelineSpan] = {}
+    for record in collated.get("records") or []:
+        kind = record.get("kind")
+        if kind not in ("span", "start"):
+            continue
+        spans[record["span_id"]] = TimelineSpan(
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            name=record.get("name", "?"),
+            process=record.get("process", "?"),
+            start=float(record.get("start") or 0.0),
+            end=(
+                float(record["end"]) if kind == "span" else None
+            ),
+            status=record.get("status", "open"),
+            attrs=dict(record.get("attrs") or {}),
+        )
+    roots: list[TimelineSpan] = []
+    for span in spans.values():
+        parent = spans.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    for record in collated.get("records") or []:
+        if record.get("kind") != "event":
+            continue
+        holder = spans.get(record.get("span_id"))
+        entry = {
+            "name": record.get("name"),
+            "time": float(record.get("time") or 0.0),
+            "attrs": dict(record.get("attrs") or {}),
+        }
+        if holder is not None:
+            holder.events.append(entry)
+        elif roots:
+            roots[0].events.append(entry)
+    for span in spans.values():
+        span.children.sort(key=lambda s: (s.start, s.span_id))
+        span.events.sort(key=lambda e: e["time"])
+    roots.sort(key=lambda s: (s.start, s.span_id))
+    return roots
+
+
+def _horizon(roots: list[TimelineSpan]) -> float:
+    latest = 0.0
+
+    def walk(span):
+        nonlocal latest
+        if span.end is not None and span.end > latest:
+            latest = span.end
+        if span.start > latest:
+            latest = span.start
+        for event in span.events:
+            if event["time"] > latest:
+                latest = event["time"]
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return latest
+
+
+def render_timeline(
+    roots: list[TimelineSpan], width: int = 32, events: bool = False,
+) -> str:
+    """Indented span tree with per-span gantt bars."""
+    horizon = _horizon(roots) or 1.0
+    lines = []
+
+    def bar(span: TimelineSpan) -> str:
+        left = int(width * span.start / horizon)
+        length = max(
+            1, int(width * span.duration(horizon) / horizon)
+        )
+        length = min(length, width - left)
+        return " " * left + ("#" * length if span.end is not None
+                             else "~" * length)
+
+    def walk(span: TimelineSpan, depth: int) -> None:
+        label = "  " * depth + span.name
+        state = span.status if span.end is not None else "OPEN"
+        duration = span.duration(horizon)
+        lines.append(
+            f"{label:<34} {span.start:>9.3f}s {duration:>9.3f}s "
+            f"{state:<12} |{bar(span):<{width}}|"
+        )
+        if events:
+            for entry in span.events:
+                lines.append(
+                    "  " * (depth + 1)
+                    + f"- {entry['time']:.3f}s {entry['name']} "
+                    + " ".join(
+                        f"{k}={v}" for k, v in sorted(entry["attrs"].items())
+                    )
+                )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    lines.append(
+        f"{'span':<34} {'start':>10} {'duration':>10} {'status':<12} "
+        f"timeline (horizon {horizon:.3f}s)"
+    )
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def critical_path(roots: list[TimelineSpan]) -> list[dict]:
+    """The chain from the root to its latest-ending descendant.
+
+    Each entry carries the span and its *self* time along the path —
+    the part of its duration not covered by the next span on the path.
+    The list is ordered root-first; the self times sum to the trace's
+    critical wall-clock.
+    """
+    if not roots:
+        return []
+    horizon = _horizon(roots)
+
+    def effective_end(span):
+        return span.end if span.end is not None else horizon
+
+    path: list[TimelineSpan] = []
+    current = max(roots, key=effective_end)
+    while current is not None:
+        path.append(current)
+        if not current.children:
+            break
+        current = max(current.children, key=effective_end)
+    entries = []
+    for index, span in enumerate(path):
+        nxt = path[index + 1] if index + 1 < len(path) else None
+        own = span.duration(horizon)
+        overlap = 0.0
+        if nxt is not None:
+            overlap = max(
+                0.0,
+                min(effective_end(span), effective_end(nxt))
+                - max(span.start, nxt.start),
+            )
+        entries.append({
+            "span_id": span.span_id,
+            "name": span.name,
+            "process": span.process,
+            "duration": own,
+            "self": max(0.0, own - overlap),
+        })
+    return entries
+
+
+def folded_stacks(roots: list[TimelineSpan]) -> str:
+    """Flamegraph folded-stacks export (semicolon stacks, µs weights).
+
+    Each span contributes its *self* time (duration minus the summed
+    durations of its children, floored at zero) under its ancestry
+    stack, so external viewers (inferno, speedscope, flamegraph.pl)
+    render the trace directly.
+    """
+    horizon = _horizon(roots)
+    lines = []
+
+    def walk(span: TimelineSpan, stack: str) -> None:
+        frame = f"{stack};{span.name}" if stack else span.name
+        child_total = sum(c.duration(horizon) for c in span.children)
+        self_us = max(0.0, span.duration(horizon) - child_total) * 1e6
+        lines.append(f"{frame} {int(round(self_us))}")
+        for child in span.children:
+            walk(child, frame)
+
+    for root in roots:
+        walk(root, "")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def cancellation_report(roots: list[TimelineSpan]) -> dict:
+    """Per-losing-slice cancellation latency.
+
+    The coordinator records an ``incumbent_arrived`` event the moment a
+    good-enough verified solution lands; every attempt span the pool
+    subsequently SIGKILLed carries ``cancelled: true``.  The latency of
+    a losing slice is its span end minus the incumbent arrival —
+    fleet-level wasted work that no per-process trace can see.
+    """
+    arrival = None
+    arrival_attrs = {}
+    losers = []
+
+    def walk(span):
+        nonlocal arrival, arrival_attrs
+        for event in span.events:
+            if event["name"] == "incumbent_arrived":
+                if arrival is None or event["time"] < arrival:
+                    arrival = event["time"]
+                    arrival_attrs = event["attrs"]
+        if span.attrs.get("cancelled") and span.end is not None:
+            losers.append(span)
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    entries = []
+    for span in sorted(losers, key=lambda s: (s.start, s.span_id)):
+        entries.append({
+            "span_id": span.span_id,
+            "name": span.name,
+            "slice": span.attrs.get("slice"),
+            "cancelled_at": span.end,
+            "latency_seconds": (
+                None if arrival is None else max(0.0, span.end - arrival)
+            ),
+        })
+    return {
+        "incumbent_arrived": arrival,
+        "incumbent": dict(arrival_attrs),
+        "losers": entries,
+    }
+
+
+def render_trace_view(collated: dict, events: bool = False) -> str:
+    """The full ``rmrls trace view`` text output."""
+    roots = build_timeline(collated)
+    header = collated.get("header") or {}
+    lines = [
+        f"trace {header.get('trace_id', '?')} — "
+        f"{header.get('records', len(collated.get('records') or []))} "
+        f"records from {len(header.get('shards') or [])} shard(s), "
+        f"{header.get('skipped_lines', 0)} skipped line(s), "
+        f"{header.get('open_spans', 0)} open span(s)",
+        "",
+        render_timeline(roots, events=events),
+    ]
+    path = critical_path(roots)
+    if path:
+        lines.append("")
+        lines.append("critical path (self time):")
+        for entry in path:
+            lines.append(
+                f"  {entry['name']:<34} {entry['self']:>9.3f}s of "
+                f"{entry['duration']:>9.3f}s  [{entry['process']}]"
+            )
+    report = cancellation_report(roots)
+    if report["losers"]:
+        lines.append("")
+        if report["incumbent_arrived"] is not None:
+            incumbent = report["incumbent"]
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(incumbent.items())
+            )
+            lines.append(
+                f"incumbent arrived at {report['incumbent_arrived']:.3f}s"
+                + (f" ({detail})" if detail else "")
+            )
+        lines.append("cancellation latency per losing slice:")
+        for loser in report["losers"]:
+            latency = loser["latency_seconds"]
+            lines.append(
+                f"  slice {loser['slice']!s:<4} {loser['name']:<30} "
+                f"killed at {loser['cancelled_at']:.3f}s"
+                + (
+                    f"  latency {latency * 1000:.1f}ms"
+                    if latency is not None else ""
+                )
+            )
+    return "\n".join(lines)

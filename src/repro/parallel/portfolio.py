@@ -60,6 +60,7 @@ _DRIVER_FIELDS = dict(
     observers=(),
     phase_timer=None,
     bound_channel=None,
+    trace_dir=None,
 )
 
 #: Merged finish reason for unsolved fleets, most significant last: a
@@ -250,6 +251,36 @@ def synthesize_portfolio(
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     started = time.monotonic()
+
+    session = None
+    root_span = None
+    if options.trace_dir:
+        from repro.obs.spans import TraceSession
+
+        session = TraceSession.create(options.trace_dir)
+        root_span = session.begin_span("portfolio", jobs=jobs)
+    try:
+        result = _run_portfolio_driver(
+            specification, options, jobs, pool, started, session, root_span,
+        )
+        if root_span is not None:
+            root_span.end(
+                status="ok" if result.solved else "unsolved",
+                gate_count=result.gate_count,
+            )
+        return result
+    except BaseException:
+        if root_span is not None:
+            root_span.end(status="error")
+        raise
+    finally:
+        if session is not None:
+            session.close()
+
+
+def _run_portfolio_driver(
+    specification, options, jobs, pool, started, session, root_span,
+):
     system = _as_system(specification, options.engine)
 
     # Seed enumeration runs in-process, without the caller's live
@@ -285,6 +316,7 @@ def synthesize_portfolio(
     if registries:
         payload_spec = dict(payload_spec, metrics=True)
 
+    wire = None if session is None else session.context_for(root_span)
     tasks = []
     for index, ranks in enumerate(slices):
         worker_options = options.with_(
@@ -298,13 +330,17 @@ def synthesize_portfolio(
                 options=worker_options,
                 runtime=runtime,
                 meta={"label": f"portfolio:slice{index}", "slice": index},
+                trace=wire,
             )
         )
 
     if pool is None:
         pool = WorkerPool(
-            jobs=jobs, budget=WorkerBudget(), retry=RetryPolicy()
+            jobs=jobs, budget=WorkerBudget(), retry=RetryPolicy(),
+            trace=session,
         )
+    elif session is not None and pool.trace is None:
+        pool.trace = session
 
     # Early cancellation: once a good-enough verified incumbent has
     # *arrived* (not merely been published to the bound — the finder's
@@ -321,6 +357,14 @@ def synthesize_portfolio(
         if outcome.gate_count is None:
             return
         if cancel_gates is None or outcome.gate_count <= cancel_gates:
+            if session is not None and not state["stop"]:
+                # The fleet-level reference instant: cancellation
+                # latency of every losing slice is measured from here.
+                session.event(
+                    "incumbent_arrived", span=root_span,
+                    gate_count=outcome.gate_count,
+                    slice=(task.meta or {}).get("slice"),
+                )
             state["stop"] = True
 
     stop_check = (lambda: state["stop"]) if cancel_armed else None
@@ -366,7 +410,9 @@ def _merge_fleet(
     for registry in registries:
         for entry in summary.slices:
             if entry.metrics:
-                registry.merge_snapshot(entry.metrics)
+                registry.merge_snapshot(
+                    entry.metrics, source=f"slice{entry.slice_index}"
+                )
 
     winner = _pick_winner(summary.slices)
     circuit = None

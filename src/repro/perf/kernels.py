@@ -372,6 +372,95 @@ def _workload_portfolio(quick: bool, engine=None):
     return body
 
 
+def _workload_tracing_overhead(quick: bool, engine=None):
+    """Search-loop cost of distributed tracing, traced vs untraced.
+
+    Runs the exhaustive3 spec set twice: bare, and with a live
+    :class:`repro.obs.TraceSession` wired the way a traced worker runs
+    it (one span per synthesis plus a
+    :class:`repro.obs.SpanProgressObserver` flushing progress events to
+    a JSONL shard).  Each arm is timed best-of-three to keep the ratio
+    out of the noise.  Publishes both walls as gated ``_seconds``
+    metrics plus the headline ``overhead_pct`` (informational — it is a
+    ratio) and ``within_budget`` (1.0 when the overhead is under the 5%
+    tracing budget; asserted by the test suite and CI).
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.functions.permutation import Permutation
+    from repro.obs import SpanProgressObserver, TraceSession
+    from repro.synth.rmrls import synthesize
+
+    rng = random.Random(_SEED)
+    specs = []
+    for _ in range(12 if quick else 60):
+        images = list(range(8))
+        rng.shuffle(images)
+        specs.append(Permutation(images))
+    # Same hard step cap as exhaustive3: both arms burn an identical
+    # step budget, so the wall difference is pure tracing cost.
+    max_steps = 400 if quick else 2_000
+
+    def run_specs(session=None):
+        steps = 0
+        for spec in specs:
+            observers = ()
+            span = None
+            if session is not None:
+                span = session.begin_span("bench:exhaustive3")
+                observers = (SpanProgressObserver(session, span),)
+            result = synthesize(
+                spec, max_steps=max_steps, dedupe_states=True,
+                engine=engine, observers=observers,
+            )
+            if span is not None:
+                span.end(status="ok" if result.solved else "unsolved")
+            steps += result.stats.steps
+        return steps
+
+    def best_of(arms: int, run):
+        best = None
+        steps = 0
+        for _ in range(arms):
+            start = _time.perf_counter()
+            steps = run()
+            wall = _time.perf_counter() - start
+            best = wall if best is None else min(best, wall)
+        return best, steps
+
+    def body():
+        untraced_seconds, steps = best_of(3, run_specs)
+        directory = tempfile.mkdtemp(prefix="rmrls-tracing-bench-")
+        try:
+            session = TraceSession.create(directory)
+            try:
+                traced_seconds, traced_steps = best_of(
+                    3, lambda: run_specs(session)
+                )
+            finally:
+                session.close()
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        overhead_pct = (
+            (traced_seconds / untraced_seconds - 1.0) * 100.0
+            if untraced_seconds else 0.0
+        )
+        return {
+            "functions": len(specs),
+            "steps": steps + traced_steps,
+            "metrics": {
+                "untraced_seconds": untraced_seconds,
+                "traced_seconds": traced_seconds,
+                "overhead_pct": overhead_pct,
+                "within_budget": 1.0 if overhead_pct < 5.0 else 0.0,
+            },
+        }
+
+    return body
+
+
 def _workload_engine_compare(quick: bool, engine=None):
     """Head-to-head backend race on the two hottest kernels.
 
@@ -410,6 +499,7 @@ WORKLOADS = {
     "rd53": _workload_rd53,
     "scalability_probe": _workload_scalability_probe,
     "portfolio": _workload_portfolio,
+    "tracing_overhead": _workload_tracing_overhead,
     "engine_compare": _workload_engine_compare,
 }
 

@@ -157,6 +157,15 @@ class SynthesisOptions:
         portfolio_poll_steps: poll the shared incumbent bound once
             every this many loop iterations (piggybacks on the
             deadline poll stride machinery).
+        trace_dir: directory for distributed-trace shards.  When set,
+            the portfolio driver (and the sweep harness via
+            ``HarnessConfig.trace_dir``) records span-based traces —
+            one JSONL shard per process — that ``rmrls trace collate``
+            joins into a single causal timeline; see
+            :mod:`repro.obs.spans` and docs/observability.md.  Pure
+            observability: never enters task fingerprints and never
+            changes results.  ``None`` (default) compiles all tracing
+            out.
         bound_channel: a live object with ``best()``/``publish(depth)``
             (see :class:`repro.parallel.SharedBound`) connecting this
             search to the portfolio's shared incumbent; ``None``
@@ -201,6 +210,7 @@ class SynthesisOptions:
     portfolio_cancel_gates: int | None = None
     portfolio_seed_ranks: tuple | None = None
     portfolio_poll_steps: int = 64
+    trace_dir: str | None = None
     bound_channel: object | None = field(default=None, compare=False)
     engine: str | None = None
 

@@ -245,3 +245,72 @@ class TestHotOpPublication:
                 assert registry.counter(f"hotop_{name}").value == value
             else:
                 assert registry.get(f"hotop_{name}") is None
+
+
+class TestLabeledMetrics:
+    def test_labeled_key_stable_order(self):
+        from repro.obs.metrics import labeled_key
+
+        assert labeled_key("m", None) == "m"
+        assert (labeled_key("m", {"b": "2", "a": "1"})
+                == 'm{a="1",b="2"}')
+
+    def test_labeled_and_unlabeled_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(1)
+        registry.counter("jobs", labels={"worker": "w0"}).inc(2)
+        registry.counter("jobs", labels={"worker": "w1"}).inc(3)
+        assert registry.counter("jobs").value == 1
+        assert registry.counter("jobs", labels={"worker": "w0"}).value == 2
+        assert registry.counter("jobs", labels={"worker": "w1"}).value == 3
+
+    def test_unlabeled_snapshot_shape_unchanged(self):
+        # Pre-label persisted snapshots must keep loading; unlabeled
+        # entries therefore must not grow new keys.
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        assert registry.as_dict()["c"] == {"kind": "counter", "value": 1}
+
+    def test_labeled_snapshot_roundtrip(self):
+        source = MetricsRegistry()
+        source.counter("c", labels={"worker": "w0"}).inc(4)
+        source.gauge("g", labels={"slice": "1"}).set(7)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.as_dict())
+        assert target.as_dict() == source.as_dict()
+
+
+class TestMergeProvenance:
+    def test_merge_counts_per_source(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(1)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.as_dict(), source="slice0")
+        target.merge_snapshot(source.as_dict(), source="slice0")
+        target.merge_snapshot(source.as_dict(), source="slice1")
+        target.merge_snapshot(source.as_dict())
+        assert target.merge_counts == {
+            "slice0": 2, "slice1": 1, "<anonymous>": 1,
+        }
+
+    def test_negative_counter_delta_rejected_with_source(self):
+        target = MetricsRegistry()
+        snapshot = {"c": {"kind": "counter", "value": -3}}
+        with pytest.raises(ValueError) as excinfo:
+            target.merge_snapshot(snapshot, source="slice2")
+        message = str(excinfo.value)
+        assert "slice2" in message
+        assert "negative delta" in message
+        assert "-3" in message
+
+    def test_rejected_snapshot_applies_nothing(self):
+        # The bad entry sorts after a good one; neither may land.
+        target = MetricsRegistry()
+        snapshot = {
+            "a_good": {"kind": "counter", "value": 5},
+            "z_bad": {"kind": "counter", "value": -1},
+        }
+        with pytest.raises(ValueError):
+            target.merge_snapshot(snapshot, source="slice0")
+        assert target.get("a_good") is None
+        assert target.merge_counts == {}

@@ -81,13 +81,27 @@ class TestSummarizeTrace:
         assert summary["finish"]["reason"] == "solved"
         assert summary["steps"] == 9
 
-    def test_malformed_json_rejected(self):
-        with pytest.raises(ValueError, match="line 2"):
-            summarize_trace(io.StringIO('{"event": "pop"}\nnot json\n'))
+    def test_malformed_json_skipped_and_counted(self):
+        summary = summarize_trace(
+            io.StringIO('{"event": "pop"}\nnot json\n{"event": "pop"}\n')
+        )
+        assert summary["events"] == {"pop": 2}
+        assert summary["skipped_lines"] == 1
 
-    def test_missing_event_key_rejected(self):
-        with pytest.raises(ValueError, match="no 'event' key"):
-            summarize_trace(lines({"step": 1}))
+    def test_missing_event_key_skipped_and_counted(self):
+        summary = summarize_trace(lines({"step": 1}, {"event": "pop"}))
+        assert summary["events"] == {"pop": 1}
+        assert summary["skipped_lines"] == 1
+
+    def test_truncated_tail_line_skipped(self):
+        # A SIGKILLed writer leaves at most one partial trailing line;
+        # the summary must survive it and surface the count.
+        summary = summarize_trace(
+            io.StringIO('{"event": "pop", "step": 1}\n{"event": "po')
+        )
+        assert summary["events"] == {"pop": 1}
+        assert summary["skipped_lines"] == 1
+        assert "skipped 1 malformed line" in render_trace_summary(summary)
 
     def test_blank_lines_skipped(self):
         summary = summarize_trace(
