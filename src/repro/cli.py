@@ -19,6 +19,9 @@ Subcommands::
     rmrls scalability --max-gates 15 --samples 5
     rmrls examples                              # the 14 worked examples
     rmrls figures                               # regenerate Figs. 1-9
+    rmrls serve --socket S --store DIR          # synthesis cache daemon
+    rmrls client --socket S --spec "2,0,1,3"    # one request to the daemon
+    rmrls store stats DIR / verify / gc / export  # inspect & repair a store
 
 Observability flags on ``synth`` (see docs/observability.md): ``--json``
 prints one JSON run report to stdout, ``--metrics PATH`` writes the same
@@ -41,6 +44,16 @@ timeline, ``rmrls trace view`` renders it (critical path, flamegraph
 export, cancellation latency), and ``rmrls top`` tails the shards live.
 ``synth --openmetrics PATH`` exports the run's metrics — including
 fleet metrics derived from the trace — in Prometheus text format.
+
+Durable synthesis cache (see docs/robustness.md): ``rmrls serve``
+answers synthesis requests over a unix socket through the crash-safe
+canonical circuit store — hits replay a stored circuit onto the
+caller's wire order, misses are single-flighted and batched onto the
+worker pool, and the result seeds the store.  ``rmrls store`` has the
+offline tools (``stats``, ``verify [--deep] [--repair]``, ``gc``,
+``export``), all emitting JSON.  ``rmrls sweep --store DIR`` warms a
+store from every circuit a sweep synthesizes; ``--fsync-ledger``
+makes the resume ledger power-cut durable.
 """
 
 from __future__ import annotations
@@ -697,6 +710,13 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", metavar="LEDGER", default=None,
                         help="JSONL checkpoint ledger: completed tasks are "
                              "skipped, new outcomes appended")
+    parser.add_argument("--fsync-ledger", action="store_true",
+                        help="fsync every ledger line (power-cut durable "
+                             "checkpoints; needs --resume)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="seed this canonical circuit store with every "
+                             "synthesized circuit (deduplicated by "
+                             "canonical key; see docs/robustness.md)")
     parser.add_argument("--strict", action="store_true",
                         help="abort on the first unsound circuit instead of "
                              "recording it")
@@ -719,6 +739,8 @@ def _harness_from_args(args, metrics=None):
         mem_limit_mb=args.mem_limit,
         retry=RetryPolicy(max_retries=args.retries),
         ledger_path=args.resume,
+        ledger_fsync=args.fsync_ledger,
+        store_path=args.store,
         strict=args.strict,
         metrics=metrics,
         trace_dir=args.trace_dir,
@@ -847,6 +869,151 @@ def _print_sweep_summary(report) -> None:
           f"; {report.replayed} replayed from ledger, "
           f"{report.retries} retries, "
           f"{report.elapsed_seconds:.2f}s")
+
+
+def _cmd_serve(args) -> int:
+    """Run the synthesis cache daemon on a unix socket."""
+    from repro.obs import MetricsRegistry
+    from repro.store import (
+        CircuitStore,
+        StoreError,
+        SynthesisService,
+        serve,
+    )
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    store = None
+    if args.store:
+        try:
+            store = CircuitStore(args.store, read_only=args.read_only)
+        except (StoreError, OSError) as error:
+            # Degraded mode: the daemon still answers, it just
+            # synthesizes every request instead of caching.
+            print(f"store unavailable ({error}); serving without cache",
+                  file=sys.stderr)
+            registry.counter("store_unavailable_total").inc()
+    trace = None
+    if args.trace_dir:
+        from repro.obs import TraceSession
+
+        trace = TraceSession.create(args.trace_dir, process="serve")
+    from repro.harness import RetryPolicy
+
+    service = SynthesisService(
+        store=store,
+        options=_options_from_args(args),
+        jobs=args.jobs,
+        metrics=registry,
+        trace=trace,
+        verify_hits=not args.no_verify_hits,
+        wall_seconds=args.wall_limit,
+        mem_limit_mb=args.mem_limit,
+        retry=RetryPolicy(max_retries=args.retries),
+    )
+
+    def ready(_server):
+        cache = "no store" if store is None else (
+            f"store {args.store} ({len(store)} keys"
+            f"{', read-only' if args.read_only else ''})"
+        )
+        print(f"rmrls serve: listening on {args.socket} [{cache}]",
+              file=sys.stderr)
+
+    try:
+        serve(args.socket, service, openmetrics=args.openmetrics,
+              ready=ready)
+    finally:
+        if trace is not None:
+            trace.close()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """Send one request to a running ``rmrls serve`` daemon."""
+    from repro.store import request_over_socket
+
+    chosen = [flag for flag in ("spec", "stats", "ping", "shutdown")
+              if getattr(args, flag)]
+    if len(chosen) != 1:
+        print("exactly one of --spec, --stats, --ping, --shutdown "
+              "is required", file=sys.stderr)
+        return 2
+    if args.spec:
+        request = {"op": "synth", "spec": args.spec}
+        if args.max_steps is not None:
+            request["options"] = {"max_steps": args.max_steps}
+    else:
+        request = {"op": chosen[0]}
+    try:
+        response = request_over_socket(
+            args.socket, request, timeout=args.timeout
+        )
+    except (OSError, ConnectionError, ValueError) as error:
+        print(f"daemon request failed: {error}", file=sys.stderr)
+        return 2
+    if args.json or not args.spec:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    else:
+        status = response.get("status")
+        if status != "ok":
+            print(f"{status}: {response.get('error')}", file=sys.stderr)
+        else:
+            print(f"cache: {response.get('cache')}   "
+                  f"gates: {response.get('gates')}   "
+                  f"key: {response.get('key', '')[:12]}   "
+                  f"time: {response.get('elapsed_seconds', 0):.3f}s")
+            if response.get("circuit"):
+                print(response["circuit"])
+    return 0 if response.get("status") == "ok" else 1
+
+
+def _cmd_store(args) -> int:
+    """Offline store tools: stats / verify [--repair] / gc / export."""
+    from repro.store import CircuitStore, StoreError
+
+    try:
+        store = CircuitStore(
+            args.store_dir,
+            read_only=args.store_command in ("stats", "export")
+            or (args.store_command == "verify" and not args.repair),
+        )
+    except (StoreError, OSError) as error:
+        print(json.dumps({"ok": False, "error": str(error)}, indent=2))
+        return 2
+    try:
+        if args.store_command == "stats":
+            print(json.dumps(store.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.store_command == "verify":
+            if args.repair:
+                document = store.repair(deep=args.deep)
+                # The exit code reports the state the repair left
+                # behind, not the damage it found.
+                document["ok"] = store.verify(deep=args.deep)["ok"]
+            else:
+                document = store.verify(deep=args.deep)
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0 if document.get("ok") else 1
+        if args.store_command == "gc":
+            print(json.dumps(store.gc(), indent=2, sort_keys=True))
+            return 0
+        if args.store_command == "export":
+            if args.output:
+                with open(args.output, "w") as handle:
+                    count = store.export(handle)
+                print(f"exported {count} record(s) to {args.output}",
+                      file=sys.stderr)
+            else:
+                store.export(sys.stdout)
+            return 0
+    finally:
+        store.close()
+    print(f"unknown store command: {args.store_command}",
+          file=sys.stderr)  # pragma: no cover - argparse restricts choices
+    return 2
 
 
 def _cmd_examples(_args) -> int:
@@ -1128,6 +1295,98 @@ def main(argv: list[str] | None = None) -> int:
     _add_engine_flag(sweep)
     _add_harness_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="synthesis cache daemon: answer requests over a unix "
+             "socket through the crash-safe canonical circuit store "
+             "(see docs/robustness.md)",
+    )
+    serve_cmd.add_argument("--socket", required=True, metavar="PATH",
+                           help="unix socket path to listen on")
+    serve_cmd.add_argument("--store", metavar="DIR", default=None,
+                           help="canonical circuit store directory "
+                                "(omit to serve without a cache)")
+    serve_cmd.add_argument("--read-only", action="store_true",
+                           help="serve cache hits but never write new "
+                                "circuits to the store")
+    serve_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="isolated synthesis workers for cache "
+                                "misses (default 1)")
+    serve_cmd.add_argument("--no-verify-hits", action="store_true",
+                           help="skip simulation-verifying each cache hit "
+                                "before returning it")
+    serve_cmd.add_argument("--retries", type=int, default=0,
+                           help="max retries per synthesis task")
+    serve_cmd.add_argument("--mem-limit", type=int, metavar="MB",
+                           default=None,
+                           help="per-worker address-space cap in MiB")
+    serve_cmd.add_argument("--wall-limit", type=float, metavar="SECONDS",
+                           default=None,
+                           help="per-attempt wall budget for misses")
+    serve_cmd.add_argument("--trace-dir", metavar="DIR", default=None,
+                           help="write request/synthesis span shards "
+                                "under DIR")
+    serve_cmd.add_argument("--openmetrics", metavar="PATH", default=None,
+                           help="export hit/miss/quarantine counters here "
+                                "after every request")
+    _add_option_flags(serve_cmd)
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    client_cmd = commands.add_parser(
+        "client",
+        help="send one request to a running `rmrls serve` daemon",
+    )
+    client_cmd.add_argument("--socket", required=True, metavar="PATH",
+                            help="unix socket of the daemon")
+    client_cmd.add_argument("--spec", metavar="IMAGES",
+                            help="synthesize this permutation, e.g. "
+                                 "'2,0,1,3'")
+    client_cmd.add_argument("--max-steps", type=int, default=None,
+                            help="with --spec: override the search budget")
+    client_cmd.add_argument("--stats", action="store_true",
+                            help="print the daemon's cache statistics")
+    client_cmd.add_argument("--ping", action="store_true",
+                            help="health-check the daemon")
+    client_cmd.add_argument("--shutdown", action="store_true",
+                            help="ask the daemon to exit gracefully")
+    client_cmd.add_argument("--timeout", type=float, default=600.0,
+                            help="response timeout in seconds")
+    client_cmd.add_argument("--json", action="store_true",
+                            help="print the raw JSON response")
+    client_cmd.set_defaults(handler=_cmd_client)
+
+    store_cmd = commands.add_parser(
+        "store",
+        help="inspect and repair a canonical circuit store "
+             "(JSON output; see docs/robustness.md)",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="keys, segments, bytes, quarantined lines"
+    )
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="scan every segment for torn/corrupt records "
+             "(exit 1 when damage is found)",
+    )
+    store_verify.add_argument("--deep", action="store_true",
+                              help="also replay every circuit and check "
+                                   "it against its canonical key")
+    store_verify.add_argument("--repair", action="store_true",
+                              help="quarantine damaged lines and rewrite "
+                                   "the segments atomically")
+    store_gc = store_sub.add_parser(
+        "gc", help="compact to the best record per key"
+    )
+    store_export = store_sub.add_parser(
+        "export", help="dump the best record per key as checksummed JSONL"
+    )
+    store_export.add_argument("-o", "--output", metavar="PATH", default=None,
+                              help="write to PATH instead of stdout")
+    for sub in (store_stats, store_verify, store_gc, store_export):
+        sub.add_argument("store_dir", help="store directory")
+    store_cmd.set_defaults(handler=_cmd_store)
 
     commands.add_parser(
         "examples", help="the 14 worked examples of Sec. V-C"

@@ -9,8 +9,16 @@ recorded outcomes so aggregate results match an uninterrupted run.
 
 Interrupted or in-flight tasks are never written, so a killed sweep
 re-runs exactly the unfinished work.  Records are flushed per line —
-a SIGKILL of the *sweep* loses at most the line being written (a
-truncated trailing line is tolerated on load).
+a SIGKILL of the *sweep* loses at most the line being written — and
+with ``fsync=True`` each line is also fsynced, so even a power cut
+loses at most that line.  The resume reader is tolerant in the style
+of the trace-shard readers (:mod:`repro.obs.collate`): damaged lines —
+a truncated tail, an interleaved partial write, a record that stopped
+parsing — are skipped and counted in :attr:`SweepLedger.skipped_lines`
+rather than aborting the resume; every intact record before, between,
+and after them is still replayed.  Only a header mismatch (wrong
+schema, version, or sweep) raises, because resuming the wrong ledger
+would silently skip the wrong tasks.
 """
 
 from __future__ import annotations
@@ -38,9 +46,13 @@ class SweepLedger:
             ledger.record(outcome)      # one line per finished task
     """
 
-    def __init__(self, path: str, sweep: str):
+    def __init__(self, path: str, sweep: str, fsync: bool = False):
         self.path = path
         self.sweep = sweep
+        self.fsync = fsync
+        #: Damaged lines the last :meth:`load` skipped (torn tail,
+        #: partial write, unparseable record).
+        self.skipped_lines = 0
         self._handle = None
 
     def load(self) -> dict[str, TaskOutcome]:
@@ -49,9 +61,11 @@ class SweepLedger:
         Returns an empty dict when the file does not exist.  Raises
         :class:`ValueError` when the file belongs to a different sweep
         (resuming the wrong ledger would silently skip wrong tasks).
-        A truncated final line — the sweep was killed mid-write — is
-        dropped; everything before it is intact.
+        Damaged outcome lines — the truncated tail of a killed sweep,
+        or any line that no longer parses — are skipped and counted in
+        :attr:`skipped_lines`; their tasks simply re-run.
         """
+        self.skipped_lines = 0
         if not os.path.exists(self.path):
             return {}
         outcomes: dict[str, TaskOutcome] = {}
@@ -74,15 +88,18 @@ class SweepLedger:
                 f"{self.path} belongs to sweep {header.get('sweep')!r}, "
                 f"not {self.sweep!r}; refusing to resume"
             )
-        for index, line in enumerate(lines[1:], start=2):
+        for line in lines[1:]:
+            if not line.strip():
+                continue
             data = self._parse_line(line)
             if data is None:
-                if index == len(lines):
-                    break  # torn tail write; drop it
-                raise ValueError(
-                    f"{self.path}:{index}: corrupt ledger line"
-                )
-            outcome = TaskOutcome.from_dict(data)
+                self.skipped_lines += 1
+                continue
+            try:
+                outcome = TaskOutcome.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                self.skipped_lines += 1
+                continue
             outcomes[outcome.task_id] = outcome  # last record wins
         return outcomes
 
@@ -115,7 +132,8 @@ class SweepLedger:
         return self
 
     def record(self, outcome: TaskOutcome) -> None:
-        """Append one finished task outcome (flushed immediately)."""
+        """Append one finished task outcome (flushed immediately, and
+        fsynced when the ledger was opened with ``fsync=True``)."""
         if self._handle is None:
             raise RuntimeError("ledger is not open for appending")
         self._write_line(outcome.as_dict())
@@ -124,6 +142,8 @@ class SweepLedger:
         self._handle.write(json.dumps(data, separators=(",", ":")))
         self._handle.write("\n")
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         """Close the append handle (load() still works afterwards)."""

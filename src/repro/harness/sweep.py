@@ -78,6 +78,9 @@ class HarnessConfig:
     mem_limit_mb: int | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     ledger_path: str | None = None
+    # fsync the ledger after every recorded outcome: a power cut then
+    # loses at most the line being written, same as a SIGKILL.
+    ledger_fsync: bool = False
     strict: bool = False
     mp_context: str | None = None
     metrics: object | None = field(default=None, compare=False)
@@ -85,6 +88,11 @@ class HarnessConfig:
     # the sweep opens a coordinator session, every executed task gets
     # an attempt span, and isolated workers write their own shards.
     trace_dir: str | None = None
+    # Canonical circuit store directory (repro.store).  When set,
+    # every ``ok`` outcome's circuit is canonicalized and seeded into
+    # the store, deduplicated by canonical key — completed sweeps warm
+    # the synthesis cache as a side effect.
+    store_path: str | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -258,8 +266,22 @@ def run_sweep(
     ledger = None
     recorded: dict[str, TaskOutcome] = {}
     if config.ledger_path:
-        ledger = SweepLedger(config.ledger_path, sweep=name)
+        ledger = SweepLedger(
+            config.ledger_path, sweep=name, fsync=config.ledger_fsync
+        )
         recorded = ledger.load()
+        if ledger.skipped_lines and registry is not None:
+            registry.counter("sweep_ledger_skipped_lines").inc(
+                ledger.skipped_lines
+            )
+
+    store = None
+    if config.store_path:
+        # Deferred import: the store package pulls in the canonical-key
+        # machinery, which plain (storeless) sweeps never need.
+        from repro.store import CircuitStore, record_outcome
+
+        store = CircuitStore(config.store_path)
 
     def account(task, outcome, replay: bool) -> None:
         report.counts[outcome.status] = (
@@ -285,6 +307,12 @@ def run_sweep(
                 ).items():
                     if value:
                         registry.counter(f"hotop_{key}").inc(value)
+        if store is not None:
+            # Replayed outcomes seed too: the ledger may predate the
+            # store, and canonical-key dedup makes re-seeding free.
+            record_outcome(
+                store, outcome, source=f"sweep:{name}", registry=registry
+            )
         if on_outcome is not None:
             on_outcome(task, outcome)
         if config.strict and outcome.status == STATUS_UNSOUND:
@@ -375,6 +403,8 @@ def run_sweep(
             session.close()
         if ledger is not None:
             ledger.close()
+        if store is not None:
+            store.close()
 
 
 def harness_from_env(environ=None) -> HarnessConfig | None:
@@ -391,17 +421,28 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
     Variables: ``RMRLS_ISOLATE`` (truthy enables subprocess isolation),
     ``RMRLS_SWEEP_JOBS``, ``RMRLS_RETRIES``, ``RMRLS_MEM_LIMIT_MB``,
     ``RMRLS_WALL_LIMIT`` (seconds), ``RMRLS_LEDGER`` (path),
+    ``RMRLS_LEDGER_FSYNC`` (truthy fsyncs every ledger line),
+    ``RMRLS_STORE`` (canonical circuit store directory to seed),
     ``RMRLS_TRACE_DIR`` (distributed-trace shard directory).
     """
     env = os.environ if environ is None else environ
-    isolate = env.get("RMRLS_ISOLATE", "") not in ("", "0", "false", "no")
+
+    def truthy(var: str) -> bool:
+        return env.get(var, "") not in ("", "0", "false", "no")
+
+    isolate = truthy("RMRLS_ISOLATE")
     jobs = env.get("RMRLS_SWEEP_JOBS")
     retries = env.get("RMRLS_RETRIES")
     mem = env.get("RMRLS_MEM_LIMIT_MB")
     wall = env.get("RMRLS_WALL_LIMIT")
     ledger = env.get("RMRLS_LEDGER")
+    ledger_fsync = truthy("RMRLS_LEDGER_FSYNC")
+    store = env.get("RMRLS_STORE")
     trace_dir = env.get("RMRLS_TRACE_DIR")
-    if not (isolate or jobs or retries or mem or wall or ledger or trace_dir):
+    if not (
+        isolate or jobs or retries or mem or wall or ledger
+        or ledger_fsync or store or trace_dir
+    ):
         return None
     return HarnessConfig(
         isolate=isolate,
@@ -411,6 +452,8 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
         retry=RetryPolicy(max_retries=int(retries)) if retries else
         RetryPolicy(),
         ledger_path=ledger or None,
+        ledger_fsync=ledger_fsync,
+        store_path=store or None,
         trace_dir=trace_dir or None,
     )
 

@@ -1,0 +1,609 @@
+"""The cache-through synthesis service.
+
+:class:`SynthesisService` is the layer that turns the circuit store
+into *synthesis as a service*: a request is canonicalized, answered
+from the store when the class is known (with the cached canonical
+circuit relabeled back onto the caller's wires and re-verified by
+simulation before it is served), and otherwise synthesized on the PR-2
+:class:`~repro.harness.pool.WorkerPool` — with all concurrently
+arriving requests for the same canonical class *single-flighted* onto
+one search, and consecutive misses batched onto one pool run.
+
+The service never fails a request because of the cache:
+
+* no store configured, or the store directory unopenable — requests
+  are synthesized with ``cache="bypass"``;
+* store readable but not writable (``read_only``, full disk, injected
+  fault) — results are served and ``store_write_errors_total`` counts
+  the loss;
+* a cached record that fails replay verification is *never served*:
+  it is dropped from the serving index, counted in
+  ``store_cache_quarantined_total``, and the request proceeds as a
+  miss (``rmrls store repair --deep`` moves the bad record aside
+  durably).
+
+Observability: hit/miss/coalesce/quarantine counters in a PR-1
+:class:`~repro.obs.metrics.MetricsRegistry` (exportable via
+``--openmetrics``), and per-request + per-batch spans in the PR-6
+``rmrls-trace`` schema when a trace directory is configured.
+
+:func:`serve` wraps the service in a long-running unix-socket daemon
+speaking newline-delimited JSON (ops ``synth``/``stats``/``ping``/
+``shutdown``); :func:`request_over_socket` is the matching one-call
+client used by ``rmrls client`` and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+
+from repro.functions.permutation import Permutation
+from repro.harness.pool import WorkerBudget, WorkerPool
+from repro.harness.retry import RetryPolicy
+from repro.harness.tasks import (
+    options_from_payload,
+    options_payload,
+    permutation_task,
+)
+from repro.io.real_format import dump_real, load_real
+from repro.obs.metrics import MetricsRegistry
+from repro.store.canonical import CanonicalizationError, canonicalize
+from repro.store.store import CircuitStore, StoreError
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "SERVICE_VERSION",
+    "SynthesisService",
+    "StoreServer",
+    "default_service_options",
+    "serve",
+    "request_over_socket",
+    "parse_images",
+]
+
+SERVICE_SCHEMA = "rmrls-serve"
+SERVICE_VERSION = 1
+
+
+def default_service_options():
+    """The service's synthesis defaults for unadorned requests.
+
+    The library-wide defaults (no dedupe table, no step cap) are right
+    for a caller who owns the process and wants the paper's exact
+    search, but a daemon must bound every request: visited-state
+    deduplication plus a hard step cap keeps worst-case 3/4-variable
+    functions in milliseconds and turns pathological requests into
+    clean ``unsolved`` responses instead of a wedged worker.  Requests
+    override any field via their ``options`` object.
+    """
+    from repro.synth.options import SynthesisOptions
+
+    return SynthesisOptions(dedupe_states=True, max_steps=200_000)
+
+
+def parse_images(spec) -> list[int]:
+    """Accept a JSON image list or the CLI's ``"1,0,7,..."`` string."""
+    if isinstance(spec, str):
+        parts = [part for part in spec.replace(",", " ").split() if part]
+        return [int(part) for part in parts]
+    if isinstance(spec, (list, tuple)):
+        return [int(value) for value in spec]
+    raise ValueError(f"cannot parse specification {spec!r}")
+
+
+class _Flight:
+    """One in-flight canonical class: a result slot plus its latch."""
+
+    __slots__ = ("event", "result", "waiters")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.waiters = 0
+
+
+class SynthesisService:
+    """Canonicalize → store lookup → single-flighted batched synthesis."""
+
+    def __init__(
+        self,
+        store: CircuitStore | None = None,
+        options=None,
+        jobs: int = 1,
+        metrics: MetricsRegistry | None = None,
+        trace=None,
+        batch_window_seconds: float = 0.05,
+        verify_hits: bool = True,
+        wall_seconds: float | None = None,
+        mem_limit_mb: int | None = None,
+        retry: RetryPolicy | None = None,
+    ):
+        self.store = store
+        self.default_options = options_payload(
+            options if options is not None else default_service_options()
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace
+        self.batch_window_seconds = batch_window_seconds
+        self.verify_hits = verify_hits
+        self._pool = WorkerPool(
+            jobs=jobs,
+            budget=WorkerBudget(
+                wall_seconds=wall_seconds, mem_limit_mb=mem_limit_mb
+            ),
+            retry=retry if retry is not None else RetryPolicy(),
+        )
+        self._git_sha = self._resolve_git_sha()
+        self._lock = threading.Lock()
+        self._trace_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._queue: list[dict] = []
+        self._cond = threading.Condition(self._lock)
+        self._stopped = False
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="rmrls-serve-batcher", daemon=True
+        )
+        self._batcher.start()
+
+    @staticmethod
+    def _resolve_git_sha():
+        try:
+            from repro.perf.report import git_info
+
+            return git_info().get("sha")
+        except Exception:  # pragma: no cover - provenance is best-effort
+            return None
+
+    # -- tracing helpers (TraceSession is not thread-safe) -------------------
+
+    def _begin_span(self, name, **attrs):
+        if self.trace is None:
+            return None
+        with self._trace_lock:
+            return self.trace.begin_span(name, **attrs)
+
+    def _end_span(self, span, status="ok", **attrs):
+        if span is None:
+            return
+        with self._trace_lock:
+            span.end(status=status, **attrs)
+
+    def _context_for(self, span):
+        if self.trace is None or span is None:
+            return None
+        with self._trace_lock:
+            return self.trace.context_for(span)
+
+    # -- the request path -----------------------------------------------------
+
+    def synthesize(self, spec, options: dict | None = None) -> dict:
+        """Answer one request; returns the JSON-safe response dict.
+
+        ``spec`` is an image list (or comma string); ``options`` is an
+        optional JSON-safe overrides dict merged over the service
+        defaults.  The response's ``cache`` field says how the request
+        was satisfied: ``hit``, ``miss`` (this request led the
+        search), ``coalesced`` (another in-flight request led it), or
+        ``bypass`` (no usable store).
+        """
+        started = time.monotonic()
+        self.metrics.counter("serve_requests_total").inc()
+        span = self._begin_span("serve:request")
+        try:
+            response = self._synthesize(spec, options)
+        except (ValueError, CanonicalizationError) as error:
+            self.metrics.counter("serve_errors_total").inc()
+            response = {
+                "status": "error",
+                "cache": None,
+                "error": str(error),
+            }
+        response.setdefault("schema", SERVICE_SCHEMA)
+        response.setdefault("version", SERVICE_VERSION)
+        response["elapsed_seconds"] = time.monotonic() - started
+        self._end_span(
+            span,
+            status=response["status"],
+            cache=response.get("cache"),
+            key=response.get("key"),
+        )
+        return response
+
+    def _synthesize(self, spec, options: dict | None) -> dict:
+        images = parse_images(spec)
+        permutation = Permutation(images)
+        canonical = canonicalize(permutation)
+        merged = dict(self.default_options)
+        merged.update(options or {})
+        base = {
+            "key": canonical.key,
+            "num_vars": canonical.num_vars,
+            "relabel": list(canonical.relabel),
+        }
+
+        cached = self._lookup(canonical, permutation)
+        if cached is not None:
+            circuit, gates = cached
+            self.metrics.counter("store_cache_hits_total").inc()
+            return {
+                **base,
+                "status": "ok",
+                "cache": "hit",
+                "gates": gates,
+                "circuit": str(circuit),
+                "real": dump_real(circuit),
+            }
+
+        flight, leader = self._join_flight(canonical, merged)
+        if not leader:
+            self.metrics.counter("store_singleflight_coalesced_total").inc()
+            cache = "coalesced"
+        elif self.store is None:
+            self.metrics.counter("store_cache_bypass_total").inc()
+            cache = "bypass"
+        else:
+            self.metrics.counter("store_cache_misses_total").inc()
+            cache = "miss"
+        flight.event.wait()
+        result = flight.result
+
+        if result["status"] != "ok":
+            if result["status"] == "unsolved":
+                self.metrics.counter("serve_unsolved_total").inc()
+            else:
+                self.metrics.counter("serve_errors_total").inc()
+            return {
+                **base,
+                "status": result["status"],
+                "cache": cache,
+                "gates": None,
+                "error": result.get("error"),
+            }
+        canonical_circuit = load_real(result["real"])
+        circuit = canonical.from_canonical(canonical_circuit)
+        return {
+            **base,
+            "status": "ok",
+            "cache": cache,
+            "gates": circuit.gate_count(),
+            "circuit": str(circuit),
+            "real": dump_real(circuit),
+        }
+
+    def _lookup(self, canonical, permutation):
+        """Store lookup plus replay verification; ``None`` on any miss.
+
+        A record that fails verification is quarantined from serving
+        (dropped from the live index and counted); the caller proceeds
+        as a miss, so a corrupted store degrades to slower requests,
+        never to wrong circuits.
+        """
+        if self.store is None:
+            return None
+        try:
+            record = self.store.get(canonical.key)
+        except (StoreError, OSError):
+            self.metrics.counter("store_read_errors_total").inc()
+            return None
+        if record is None:
+            return None
+        try:
+            circuit = canonical.from_canonical(record.circuit())
+            if not self.verify_hits:
+                return circuit, circuit.gate_count()
+            if circuit.implements(permutation):
+                return circuit, circuit.gate_count()
+        except (ValueError, KeyError):
+            pass
+        self.metrics.counter("store_cache_quarantined_total").inc()
+        try:
+            self.store.discard(canonical.key)
+        except StoreError:  # pragma: no cover - discard is in-memory
+            pass
+        return None
+
+    def _join_flight(self, canonical, options: dict):
+        """Join (or open) the single flight for a canonical class."""
+        with self._cond:
+            flight = self._flights.get(canonical.key)
+            if flight is not None:
+                flight.waiters += 1
+                return flight, False
+            flight = _Flight()
+            self._flights[canonical.key] = flight
+            self._queue.append(
+                {"canonical": canonical, "options": options, "flight": flight}
+            )
+            self._cond.notify_all()
+            return flight, True
+
+    # -- the miss batcher ------------------------------------------------------
+
+    def _batch_loop(self):
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._cond.wait(timeout=0.5)
+                if self._stopped and not self._queue:
+                    return
+            # Let a burst of misses accumulate into one pool run.
+            if self.batch_window_seconds > 0:
+                time.sleep(self.batch_window_seconds)
+            with self._cond:
+                jobs, self._queue = self._queue, []
+            if jobs:
+                try:
+                    self._run_batch(jobs)
+                except BaseException as error:  # the batcher must survive
+                    self._resolve_all(
+                        jobs, {"status": "error", "error": repr(error)}
+                    )
+
+    def _run_batch(self, jobs) -> None:
+        self.metrics.counter("serve_batches_total").inc()
+        self.metrics.counter("serve_batch_tasks_total").inc(len(jobs))
+        span = self._begin_span("serve:batch", size=len(jobs))
+        context = self._context_for(span)
+        by_task: dict[str, dict] = {}
+        tasks = []
+        for job in jobs:
+            options = options_from_payload(job["options"])
+            task = permutation_task(
+                list(job["canonical"].images),
+                options=options,
+                meta={"label": f"serve:{job['canonical'].key[:12]}"},
+                namespace="serve",
+            )
+            if context is not None:
+                task = dataclasses.replace(task, trace=context)
+            by_task[task.task_id] = job
+            tasks.append(task)
+
+        def on_final(task, outcome):
+            job = by_task.get(task.task_id)
+            if job is None:  # pragma: no cover - pool invariant
+                return
+            self._finish_job(job, outcome)
+
+        try:
+            self._pool.run(tasks, on_final=on_final)
+        finally:
+            remaining = [
+                job for job in jobs if not job["flight"].event.is_set()
+            ]
+            if remaining:
+                self._resolve_all(
+                    remaining,
+                    {"status": "error", "error": "worker pool dropped task"},
+                )
+            self._end_span(span)
+
+    def _finish_job(self, job, outcome) -> None:
+        canonical = job["canonical"]
+        if outcome.status == "ok" and outcome.circuit:
+            self._store_result(job, outcome)
+            result = {
+                "status": "ok",
+                "real": outcome.circuit,
+                "gates": outcome.gate_count,
+            }
+        else:
+            result = {
+                "status": outcome.status,
+                "error": outcome.error,
+            }
+        with self._cond:
+            self._flights.pop(canonical.key, None)
+        job["flight"].result = result
+        job["flight"].event.set()
+
+    def _store_result(self, job, outcome) -> None:
+        """Persist a fresh result; a failing store never fails the job."""
+        if self.store is None:
+            return
+        canonical = job["canonical"]
+        try:
+            circuit = load_real(outcome.circuit)
+            provenance = {
+                "source": "serve",
+                "engine": job["options"].get("engine")
+                or os.environ.get("RMRLS_ENGINE")
+                or "reference",
+                "options": dict(job["options"]),
+                "git_sha": self._git_sha,
+                "trace_id": getattr(self.trace, "trace_id", None),
+                "task_id": outcome.task_id,
+            }
+            # The worker synthesized the canonical representative
+            # directly, so the record is stored under the identity
+            # witness, not the triggering caller's relabeling.
+            self.store.put(
+                canonical.canonical_form(), circuit, provenance=provenance
+            )
+            self.metrics.gauge("store_keys").set(len(self.store))
+        except (StoreError, ValueError, OSError):
+            self.metrics.counter("store_write_errors_total").inc()
+
+    def _resolve_all(self, jobs, result: dict) -> None:
+        for job in jobs:
+            with self._cond:
+                self._flights.pop(job["canonical"].key, None)
+            if not job["flight"].event.is_set():
+                job["flight"].result = dict(result)
+                job["flight"].event.set()
+
+    # -- reporting / lifecycle --------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._cond:
+            inflight = len(self._flights)
+        store_stats = None
+        if self.store is not None:
+            try:
+                store_stats = self.store.stats()
+            except (StoreError, OSError):
+                self.metrics.counter("store_read_errors_total").inc()
+        return {
+            "schema": f"{SERVICE_SCHEMA}-stats",
+            "version": SERVICE_VERSION,
+            "inflight": inflight,
+            "store": store_stats,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def close(self) -> None:
+        """Stop the batcher; fail any still-queued flights loudly."""
+        with self._cond:
+            self._stopped = True
+            pending, self._queue = self._queue, []
+            self._cond.notify_all()
+        self._resolve_all(
+            pending, {"status": "error", "error": "service closed"}
+        )
+        self._batcher.join(timeout=10.0)
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the unix-socket daemon ----------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            request = None
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as error:
+                response = {"status": "error", "error": f"bad request: {error}"}
+            else:
+                response = self.server.dispatch(request)
+            self.wfile.write(
+                (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+            if isinstance(request, dict) and request.get("op") == "shutdown":
+                return
+
+
+class StoreServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    """Newline-delimited-JSON synthesis daemon over a unix socket."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: str, service: SynthesisService,
+                 openmetrics: str | None = None):
+        self.socket_path = str(socket_path)
+        self.service = service
+        self.openmetrics = openmetrics
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        super().__init__(self.socket_path, _Handler)
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op", "synth")
+        if op == "ping":
+            response = {"status": "ok", "op": "ping"}
+        elif op == "stats":
+            response = {"status": "ok", "stats": self.service.stats()}
+        elif op == "shutdown":
+            response = {"status": "ok", "shutting_down": True}
+            threading.Thread(target=self.shutdown, daemon=True).start()
+        elif op == "synth":
+            if "spec" not in request:
+                response = {
+                    "status": "error",
+                    "error": "synth request needs a 'spec' field",
+                }
+            else:
+                response = self.service.synthesize(
+                    request["spec"], request.get("options")
+                )
+        else:
+            response = {"status": "error", "error": f"unknown op {op!r}"}
+        self._export_metrics()
+        return response
+
+    def _export_metrics(self) -> None:
+        if not self.openmetrics:
+            return
+        try:
+            from repro.obs.export import write_openmetrics
+
+            write_openmetrics(self.service.metrics, self.openmetrics)
+        except OSError:  # pragma: no cover - metrics export best-effort
+            pass
+
+    def close(self) -> None:
+        self.server_close()
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:  # pragma: no cover - unlink race
+                pass
+
+
+def serve(
+    socket_path: str,
+    service: SynthesisService,
+    openmetrics: str | None = None,
+    ready=None,
+) -> None:
+    """Run the daemon until a ``shutdown`` request (or KeyboardInterrupt).
+
+    ``ready`` is an optional callable invoked once the socket is bound
+    and accepting — the tests and the CI job use it to synchronize
+    instead of polling."""
+    server = StoreServer(socket_path, service, openmetrics=openmetrics)
+    try:
+        if ready is not None:
+            ready(server)
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        server._export_metrics()
+        service.close()
+
+
+def request_over_socket(
+    socket_path: str, request: dict, timeout: float = 600.0
+) -> dict:
+    """Send one JSON request to a running daemon; return its response."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.sendall(
+            (json.dumps(request, sort_keys=True) + "\n").encode("utf-8")
+        )
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        data = b"".join(chunks)
+    if not data:
+        raise ConnectionError(f"no response from daemon at {socket_path}")
+    return json.loads(data.decode("utf-8"))

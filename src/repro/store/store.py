@@ -1,0 +1,710 @@
+"""The crash-safe canonical circuit store.
+
+A :class:`CircuitStore` is a directory::
+
+    <root>/
+      segments/seg-000000.jsonl     append-only checksummed records
+      segments/seg-000001.jsonl     ... rolled every segment_max_records
+      index.json                    periodic compacted snapshot (advisory)
+      quarantine/                   damaged lines moved aside by repair
+
+Records map a canonical key (see :mod:`repro.store.canonical`) to the
+best-known circuit for that equivalence class, stored in RevLib
+``.real`` text *in canonical wire order*, with provenance (engine,
+options, git SHA, trace id, source).  The segments are the source of
+truth: opening a store always rescans them tolerantly, so the store
+survives a missing, stale, or torn ``index.json`` without noticing.
+The index is a convenience snapshot — rewritten atomically
+(temp + rename) every ``index_every`` appends and on close — for
+humans and external tools that want the best-per-key view without
+replaying segments.
+
+Durability stance, in one line each:
+
+* **appends** are one flushed+fsynced line; a crash loses at most the
+  in-flight record, and the torn tail is detected by checksum;
+* **rewrites** (``repair``, ``gc``, index snapshots) go through
+  temp-file + ``os.replace`` + directory fsync, so no reader ever
+  observes a half-rewritten file;
+* **reads** never trust bytes: every record re-authenticates against
+  its CRC, and damaged lines are counted, skipped, and (on ``repair``)
+  moved to ``quarantine/`` with their origin recorded — never deleted,
+  never served.
+
+Degraded modes: ``read_only=True`` opens without write access (puts
+raise :class:`StoreReadOnly`); a root that cannot be created or opened
+raises :class:`StoreUnavailable` at construction so callers (the cache
+service) can fall back to cache-less synthesis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.io.real_format import RealFormatError, dump_real, load_real
+from repro.store.canonical import CanonicalSpec, canonicalize
+from repro.store.faults import FaultPlan, faults_from_env
+from repro.store.segments import (
+    RECORD_SCHEMA,
+    RECORD_VERSION,
+    SegmentWriter,
+    encode_record,
+    fsync_directory,
+    replace_segment,
+    scan_segment,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "STORE_VERSION",
+    "CircuitStore",
+    "StoreError",
+    "StoreReadOnly",
+    "StoreRecord",
+    "StoreUnavailable",
+    "record_outcome",
+]
+
+STORE_SCHEMA = "rmrls-circuit-store"
+STORE_VERSION = 1
+
+_SEGMENT_DIR = "segments"
+_QUARANTINE_DIR = "quarantine"
+_INDEX_NAME = "index.json"
+
+
+class StoreError(Exception):
+    """Base class for store failures."""
+
+
+class StoreUnavailable(StoreError):
+    """The store directory cannot be opened at all."""
+
+
+class StoreReadOnly(StoreError):
+    """A mutation was attempted on a read-only store."""
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One best-known circuit, as read from (or written to) a segment."""
+
+    key: str
+    num_vars: int
+    gates: int
+    quantum_cost: int
+    real: str
+    provenance: dict
+    created_unix: float
+    segment: str = ""
+    line: int = 0
+
+    def circuit(self) -> Circuit:
+        """Parse the stored canonical circuit."""
+        return load_real(self.real)
+
+    def as_record(self) -> dict:
+        """The JSON-safe segment form (checksum added at encode time)."""
+        return {
+            "schema": RECORD_SCHEMA,
+            "v": RECORD_VERSION,
+            "key": self.key,
+            "num_vars": self.num_vars,
+            "gates": self.gates,
+            "quantum_cost": self.quantum_cost,
+            "real": self.real,
+            "provenance": dict(self.provenance),
+            "created_unix": self.created_unix,
+        }
+
+    @classmethod
+    def from_record(
+        cls, record: dict, segment: str = "", line: int = 0
+    ) -> "StoreRecord":
+        return cls(
+            key=record["key"],
+            num_vars=record["num_vars"],
+            gates=record["gates"],
+            quantum_cost=record["quantum_cost"],
+            real=record["real"],
+            provenance=dict(record.get("provenance") or {}),
+            created_unix=record.get("created_unix", 0.0),
+            segment=segment,
+            line=line,
+        )
+
+
+def _record_fields_ok(record: dict) -> bool:
+    return (
+        isinstance(record.get("key"), str)
+        and isinstance(record.get("num_vars"), int)
+        and isinstance(record.get("gates"), int)
+        and isinstance(record.get("real"), str)
+    )
+
+
+class CircuitStore:
+    """Best-known canonical circuits, durably.
+
+    Thread-safe for the cache service's concurrent handlers (one lock
+    around every index/segment mutation); *not* multi-process-safe —
+    one writing process per store directory is the contract (the
+    service is that process; sweeps seed their own store path or run
+    before the service starts).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        fsync: bool = True,
+        read_only: bool = False,
+        segment_max_records: int = 256,
+        index_every: int = 64,
+        faults: FaultPlan | None = None,
+    ):
+        self.root = str(root)
+        self.fsync = fsync
+        self.read_only = read_only
+        self.segment_max_records = segment_max_records
+        self.index_every = index_every
+        self.faults = faults if faults is not None else faults_from_env()
+        self._lock = threading.RLock()
+        self._index: dict[str, StoreRecord] = {}
+        self._records_scanned = 0
+        self._problem_counts: dict[str, int] = {}
+        self._writer: SegmentWriter | None = None
+        self._active_segment: str | None = None
+        self._active_records = 0
+        self._appends_since_index = 0
+
+        segment_dir = os.path.join(self.root, _SEGMENT_DIR)
+        try:
+            if not read_only:
+                os.makedirs(segment_dir, exist_ok=True)
+                os.makedirs(
+                    os.path.join(self.root, _QUARANTINE_DIR), exist_ok=True
+                )
+            self._load()
+        except OSError as error:
+            raise StoreUnavailable(
+                f"cannot open circuit store at {self.root}: {error}"
+            ) from error
+
+    # -- open-time scan ------------------------------------------------------
+
+    def _segment_names(self) -> list[str]:
+        segment_dir = os.path.join(self.root, _SEGMENT_DIR)
+        if not os.path.isdir(segment_dir):
+            return []
+        return sorted(
+            name
+            for name in os.listdir(segment_dir)
+            if name.startswith("seg-") and name.endswith(".jsonl")
+        )
+
+    def _segment_path(self, name: str) -> str:
+        return os.path.join(self.root, _SEGMENT_DIR, name)
+
+    def _load(self) -> None:
+        """Rebuild the in-memory index from the segments, tolerantly."""
+        self._index.clear()
+        self._records_scanned = 0
+        self._problem_counts = {}
+        names = self._segment_names()
+        for name in names:
+            scan = scan_segment(self._segment_path(name), faults=self.faults)
+            for line, record in scan.records:
+                self._admit(record, name, line)
+            for kind, count in scan.problem_counts().items():
+                self._problem_counts[kind] = (
+                    self._problem_counts.get(kind, 0) + count
+                )
+        if names:
+            self._active_segment = names[-1]
+            self._active_records = sum(
+                1
+                for line, record in scan_segment(
+                    self._segment_path(names[-1])
+                ).records
+            )
+        else:
+            self._active_segment = None
+            self._active_records = 0
+
+    def _admit(self, record: dict, segment: str, line: int) -> bool:
+        """Fold one intact record into the best-per-key index."""
+        if not _record_fields_ok(record):
+            self._problem_counts["schema"] = (
+                self._problem_counts.get("schema", 0) + 1
+            )
+            return False
+        self._records_scanned += 1
+        candidate = StoreRecord.from_record(record, segment, line)
+        best = self._index.get(candidate.key)
+        if best is None or candidate.gates < best.gates:
+            self._index[candidate.key] = candidate
+            return True
+        return False
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, key: str) -> StoreRecord | None:
+        """Best-known record for a canonical key, or ``None``."""
+        with self._lock:
+            return self._index.get(key)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def discard(self, key: str) -> None:
+        """Drop a key from the in-memory index (it stays on disk until
+        the next ``repair``/``gc``).  Used by the cache service when a
+        served record fails replay verification: the bad record must
+        stop being served *now*, without blocking the request path on a
+        segment rewrite."""
+        with self._lock:
+            self._index.pop(key, None)
+
+    # -- writes --------------------------------------------------------------
+
+    def put(
+        self,
+        canonical: CanonicalSpec,
+        circuit: Circuit,
+        provenance: dict | None = None,
+    ) -> tuple[StoreRecord, bool]:
+        """Record ``circuit`` (given in the caller's wire order) for
+        ``canonical``'s equivalence class.
+
+        The circuit is relabeled into canonical wire order before it is
+        written, so every record of one key is directly comparable and
+        replayable.  Returns ``(record, stored)`` — ``stored`` is
+        ``False`` when an equal-or-better circuit was already known and
+        nothing was appended (canonical-key deduplication).
+        """
+        if self.read_only:
+            raise StoreReadOnly(f"{self.root} is open read-only")
+        stored_circuit = canonical.to_canonical(circuit)
+        gates = stored_circuit.gate_count()
+        with self._lock:
+            best = self._index.get(canonical.key)
+            if best is not None and best.gates <= gates:
+                return best, False
+            record = StoreRecord(
+                key=canonical.key,
+                num_vars=canonical.num_vars,
+                gates=gates,
+                quantum_cost=stored_circuit.quantum_cost(),
+                real=dump_real(stored_circuit),
+                provenance=dict(provenance or {}),
+                created_unix=time.time(),
+                segment=self._ensure_writer(),
+                line=self._active_records + 1,
+            )
+            self._writer.append(record.as_record())
+            self._active_records += 1
+            self._records_scanned += 1
+            self._index[canonical.key] = record
+            self._appends_since_index += 1
+            if self._appends_since_index >= self.index_every:
+                self._write_index()
+            return record, True
+
+    def _ensure_writer(self) -> str:
+        """Open (or roll) the active segment; returns its name."""
+        roll = (
+            self._active_segment is None
+            or self._active_records >= self.segment_max_records
+        )
+        if roll:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            ordinal = len(self._segment_names())
+            while True:
+                name = f"seg-{ordinal:06d}.jsonl"
+                if not os.path.exists(self._segment_path(name)):
+                    break
+                ordinal += 1
+            # Create the segment atomically-enough: an empty file is a
+            # valid segment, so the only invariant needed is that the
+            # name lands in the directory before records do.
+            self._active_segment = name
+            self._active_records = 0
+        if self._writer is None:
+            self._writer = SegmentWriter(
+                self._segment_path(self._active_segment),
+                fsync=self.fsync,
+                faults=self.faults,
+            )
+        return self._active_segment
+
+    # -- index snapshot --------------------------------------------------------
+
+    def _write_index(self) -> None:
+        document = {
+            "schema": f"{STORE_SCHEMA}-index",
+            "version": STORE_VERSION,
+            "generated_unix": time.time(),
+            "keys": len(self._index),
+            "records": [
+                self._index[key].as_record() for key in sorted(self._index)
+            ],
+        }
+        tmp_path = os.path.join(self.root, _INDEX_NAME + ".tmp")
+        with open(tmp_path, "w") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, os.path.join(self.root, _INDEX_NAME))
+        if self.fsync:
+            fsync_directory(self.root)
+        self._appends_since_index = 0
+
+    # -- verify / repair / gc ---------------------------------------------------
+
+    def verify(self, deep: bool = False) -> dict:
+        """Re-scan every segment from disk and report what's there.
+
+        Shallow verification authenticates structure: JSON decodes,
+        checksums match, schema fields are sane.  ``deep=True``
+        additionally *replays* every intact record: the circuit text
+        must round-trip byte-identically, simulate to a function whose
+        canonical key is the record's key, and match the recorded gate
+        count — so a record that passes deep verification is the
+        circuit it claims to be, bit for bit.
+        """
+        with self._lock:
+            report = {
+                "schema": f"{STORE_SCHEMA}-verify",
+                "version": STORE_VERSION,
+                "root": self.root,
+                "deep": deep,
+                "segments": [],
+                "records": 0,
+                "keys": 0,
+                "problems": {},
+                "replay_failures": [],
+                "ok": True,
+            }
+            keys = set()
+            for name in self._segment_names():
+                scan = scan_segment(
+                    self._segment_path(name), faults=self.faults
+                )
+                entry = {
+                    "segment": name,
+                    "records": len(scan.records),
+                    "bytes": scan.size,
+                    "problems": scan.problem_counts(),
+                }
+                report["segments"].append(entry)
+                report["records"] += len(scan.records)
+                for kind, count in entry["problems"].items():
+                    report["problems"][kind] = (
+                        report["problems"].get(kind, 0) + count
+                    )
+                for line, record in scan.records:
+                    if not _record_fields_ok(record):
+                        report["problems"]["schema"] = (
+                            report["problems"].get("schema", 0) + 1
+                        )
+                        continue
+                    keys.add(record["key"])
+                    if deep:
+                        failure = self._replay_failure(record)
+                        if failure is not None:
+                            report["replay_failures"].append(
+                                {
+                                    "segment": name,
+                                    "line": line,
+                                    "key": record["key"],
+                                    "reason": failure,
+                                }
+                            )
+            report["keys"] = len(keys)
+            report["ok"] = not report["problems"] and not report[
+                "replay_failures"
+            ]
+            return report
+
+    @staticmethod
+    def _replay_failure(record: dict) -> str | None:
+        """Deep-check one intact record; returns the failure reason."""
+        try:
+            circuit = load_real(record["real"])
+        except RealFormatError as error:
+            return f"unparseable circuit: {error}"
+        if circuit.num_lines != record["num_vars"]:
+            return (
+                f"circuit is {circuit.num_lines}-line, record says "
+                f"{record['num_vars']}"
+            )
+        if dump_real(circuit) != record["real"]:
+            return "circuit text does not round-trip byte-identically"
+        if circuit.gate_count() != record["gates"]:
+            return (
+                f"gate count {circuit.gate_count()} != recorded "
+                f"{record['gates']}"
+            )
+        try:
+            derived = canonicalize(circuit)
+        except ValueError as error:
+            return f"cannot canonicalize replayed circuit: {error}"
+        if derived.key != record["key"]:
+            return (
+                f"replayed circuit canonicalizes to {derived.key}, "
+                f"record claims {record['key']}"
+            )
+        return None
+
+    def repair(self, deep: bool = False) -> dict:
+        """Quarantine damaged lines and rewrite segments without them.
+
+        Every damaged raw line (and, with ``deep=True``, every record
+        failing replay verification) is appended to
+        ``quarantine/<segment>.quarantine`` with its origin, then the
+        segment is atomically rewritten containing only the survivors.
+        Nothing is deleted; a quarantined line can be inspected (or
+        resurrected) by hand.  Returns a report with quarantine counts;
+        the in-memory index is rebuilt from the repaired segments.
+        """
+        if self.read_only:
+            raise StoreReadOnly(f"{self.root} is open read-only")
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            quarantine_dir = os.path.join(self.root, _QUARANTINE_DIR)
+            os.makedirs(quarantine_dir, exist_ok=True)
+            report = {
+                "schema": f"{STORE_SCHEMA}-repair",
+                "version": STORE_VERSION,
+                "root": self.root,
+                "deep": deep,
+                "quarantined": 0,
+                "kept": 0,
+                "segments_rewritten": 0,
+                "quarantine": {},
+            }
+            for name in self._segment_names():
+                scan = scan_segment(
+                    self._segment_path(name), faults=self.faults
+                )
+                bad = [
+                    {"line": p["line"], "kind": p["kind"], "raw": p["raw"]}
+                    for p in scan.problems
+                ]
+                keep = []
+                for line, record in scan.records:
+                    reason = None
+                    if not _record_fields_ok(record):
+                        reason = "schema fields missing or mistyped"
+                    elif deep:
+                        reason = self._replay_failure(record)
+                    if reason is None:
+                        keep.append(record)
+                    else:
+                        bad.append(
+                            {
+                                "line": line,
+                                "kind": "replay",
+                                "reason": reason,
+                                "raw": encode_record(record),
+                            }
+                        )
+                report["kept"] += len(keep)
+                if not bad:
+                    continue
+                quarantine_path = os.path.join(
+                    quarantine_dir, f"{name}.quarantine"
+                )
+                with open(quarantine_path, "a") as handle:
+                    for problem in sorted(bad, key=lambda p: p["line"]):
+                        handle.write(
+                            json.dumps(
+                                {
+                                    "segment": name,
+                                    "line": problem["line"],
+                                    "kind": problem["kind"],
+                                    "reason": problem.get("reason"),
+                                    "raw": problem["raw"],
+                                    "quarantined_unix": time.time(),
+                                },
+                                separators=(",", ":"),
+                            )
+                            + "\n"
+                        )
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                replace_segment(
+                    self._segment_path(name), keep, fsync=self.fsync
+                )
+                report["quarantined"] += len(bad)
+                report["quarantine"][name] = len(bad)
+                report["segments_rewritten"] += 1
+            self._load()
+            self._write_index()
+            return report
+
+    def gc(self) -> dict:
+        """Compact to one segment holding only the best record per key.
+
+        Superseded records (worse gate counts for a key the index has a
+        better circuit for) are the store's only garbage; ``gc``
+        rewrites them away atomically and refreshes the index snapshot.
+        """
+        if self.read_only:
+            raise StoreReadOnly(f"{self.root} is open read-only")
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            names = self._segment_names()
+            records_before = self._records_scanned
+            best = [self._index[key] for key in sorted(self._index)]
+            target = names[-1] if names else "seg-000000.jsonl"
+            replace_segment(
+                self._segment_path(target),
+                (record.as_record() for record in best),
+                fsync=self.fsync,
+            )
+            for name in names[:-1]:
+                os.remove(self._segment_path(name))
+            if self.fsync:
+                fsync_directory(os.path.join(self.root, _SEGMENT_DIR))
+            self._load()
+            self._write_index()
+            return {
+                "schema": f"{STORE_SCHEMA}-gc",
+                "version": STORE_VERSION,
+                "root": self.root,
+                "keys": len(self._index),
+                "records_before": records_before,
+                "records_after": self._records_scanned,
+                "dropped": records_before - self._records_scanned,
+                "segments_before": len(names),
+                "segments_after": 1 if self._index or names else 0,
+            }
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-safe snapshot of what the store holds."""
+        with self._lock:
+            names = self._segment_names()
+            size = sum(
+                os.path.getsize(self._segment_path(name)) for name in names
+            )
+            quarantine_dir = os.path.join(self.root, _QUARANTINE_DIR)
+            quarantined = 0
+            if os.path.isdir(quarantine_dir):
+                for name in os.listdir(quarantine_dir):
+                    path = os.path.join(quarantine_dir, name)
+                    with open(path) as handle:
+                        quarantined += sum(
+                            1 for line in handle if line.strip()
+                        )
+            gate_counts = sorted(
+                record.gates for record in self._index.values()
+            )
+            return {
+                "schema": f"{STORE_SCHEMA}-stats",
+                "version": STORE_VERSION,
+                "root": self.root,
+                "keys": len(self._index),
+                "records": self._records_scanned,
+                "segments": len(names),
+                "bytes": size,
+                "quarantined_lines": quarantined,
+                "open_problems": dict(self._problem_counts),
+                "read_only": self.read_only,
+                "fsync": self.fsync,
+                "gates_min": gate_counts[0] if gate_counts else None,
+                "gates_max": gate_counts[-1] if gate_counts else None,
+            }
+
+    def export(self, handle) -> int:
+        """Write the best record per key as checksummed JSONL.
+
+        The exported stream is itself a valid segment: it can be
+        dropped into another store's ``segments/`` directory (or
+        re-verified line by line with the same tooling)."""
+        count = 0
+        with self._lock:
+            for key in sorted(self._index):
+                handle.write(encode_record(self._index[key].as_record()))
+                handle.write("\n")
+                count += 1
+        return count
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the writer and leave a fresh index snapshot behind."""
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            if not self.read_only and self._appends_since_index:
+                try:
+                    self._write_index()
+                except OSError:  # pragma: no cover - close must not raise
+                    pass
+
+    def __enter__(self) -> "CircuitStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def record_outcome(
+    store: CircuitStore,
+    outcome,
+    source: str,
+    registry=None,
+    provenance: dict | None = None,
+) -> StoreRecord | None:
+    """Seed one sweep :class:`~repro.harness.taxonomy.TaskOutcome` into
+    the store (the ``rmrls sweep --store`` path).
+
+    Only ``ok`` outcomes carrying circuit text are eligible; the
+    circuit is simulated, canonicalized, and deduplicated by canonical
+    key, so re-running a sweep (or seeding overlapping sweeps) never
+    bloats the store.  Failures to seed are counted, not raised — a
+    cache problem must never fail a sweep.
+    """
+    if outcome.status != "ok" or not outcome.circuit:
+        return None
+    try:
+        circuit = load_real(outcome.circuit)
+        canonical = canonicalize(circuit)
+        combined = {
+            "source": source,
+            "task_id": outcome.task_id,
+        }
+        combined.update(provenance or {})
+        record, stored = store.put(canonical, circuit, provenance=combined)
+    except (StoreError, ValueError, OSError):
+        if registry is not None:
+            registry.counter("store_seed_errors_total").inc()
+        return None
+    if registry is not None:
+        if stored:
+            registry.counter("store_seeded_total").inc()
+        else:
+            registry.counter("store_seed_duplicates_total").inc()
+    return record

@@ -311,3 +311,65 @@ class TestSweep:
         code = main(["sweep", "table4", "--names", "fig1"])
         assert code == 0
         assert "Table IV" in capsys.readouterr().out
+
+
+class TestStoreCli:
+    def _seed(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["sweep", "probes", "--probes", "ok", "--store", store])
+        assert code == 0
+        capsys.readouterr()
+        return store
+
+    def test_sweep_seeds_and_store_stats(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(["sweep", "table2", "--sample", "1", "--seed", "7",
+                     "--store", store, "--fsync-ledger",
+                     "--resume", str(tmp_path / "ledger.jsonl")])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["store", "stats", store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["keys"] == 1 and stats["records"] == 1
+
+    def test_verify_repair_round_trip(self, capsys, tmp_path):
+        import os
+
+        store = str(tmp_path / "store")
+        code = main(["sweep", "table2", "--sample", "2", "--seed", "7",
+                     "--store", store])
+        assert code == 0
+        capsys.readouterr()
+        segment_dir = os.path.join(store, "segments")
+        (name,) = os.listdir(segment_dir)
+        path = os.path.join(segment_dir, name)
+        with open(path, "rb+") as handle:
+            handle.truncate(os.path.getsize(path) - 10)
+
+        assert main(["store", "verify", store]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["problems"] == {"torn": 1}
+
+        assert main(["store", "verify", "--repair", "--deep", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", "--deep", store]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"]
+
+    def test_gc_and_export(self, capsys, tmp_path):
+        store = self._seed_table2(tmp_path, capsys)
+        assert main(["store", "gc", store]) == 0
+        gc_report = json.loads(capsys.readouterr().out)
+        assert gc_report["records_after"] == gc_report["keys"]
+        out_path = str(tmp_path / "export.jsonl")
+        assert main(["store", "export", store, "-o", out_path]) == 0
+        capsys.readouterr()
+        lines = open(out_path).read().splitlines()
+        assert len(lines) == gc_report["keys"]
+        assert all(json.loads(line)["sum"] for line in lines)
+
+    def _seed_table2(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "table2", "--sample", "2", "--seed", "7",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        return store

@@ -73,18 +73,38 @@ class TestLedgerSafety:
             content = handle.read()
         with open(path, "w") as handle:
             handle.write(content[:-20])  # SIGKILL mid-write
-        loaded = SweepLedger(path, sweep="s").load()
-        assert set(loaded) == {"aaa"}
+        ledger = SweepLedger(path, sweep="s")
+        assert set(ledger.load()) == {"aaa"}
+        assert ledger.skipped_lines == 1
 
-    def test_mid_file_corruption_raises(self, tmp_path):
+    def test_mid_file_corruption_skipped_and_counted(self, tmp_path):
         path = str(tmp_path / "ledger.jsonl")
         with SweepLedger(path, sweep="s") as ledger:
             ledger.record(_outcome("aaa"))
         with open(path, "a") as handle:
             handle.write("garbage not json\n")
+            handle.write('{"valid_json": "but not an outcome"}\n')
             handle.write(json.dumps(_outcome("bbb").as_dict()) + "\n")
-        with pytest.raises(ValueError, match="corrupt"):
-            SweepLedger(path, sweep="s").load()
+        ledger = SweepLedger(path, sweep="s")
+        loaded = ledger.load()
+        # Every intact record survives, before and after the damage.
+        assert set(loaded) == {"aaa", "bbb"}
+        assert ledger.skipped_lines == 2
+        # A clean reload resets the count.
+        clean = str(tmp_path / "clean.jsonl")
+        with SweepLedger(clean, sweep="s") as fresh:
+            fresh.record(_outcome("ccc"))
+        ledger.path = clean
+        ledger.load()
+        assert ledger.skipped_lines == 0
+
+    def test_fsync_option_round_trips(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s", fsync=True) as ledger:
+            ledger.record(_outcome("aaa"))
+            ledger.record(_outcome("bbb"))
+        loaded = SweepLedger(path, sweep="s").load()
+        assert set(loaded) == {"aaa", "bbb"}
 
     def test_record_requires_open(self, tmp_path):
         ledger = SweepLedger(str(tmp_path / "ledger.jsonl"), sweep="s")

@@ -215,6 +215,53 @@ class TestDriverEquivalence:
         assert repro.run_sweep is run_sweep
 
 
+class TestStoreSeeding:
+    def test_sweep_seeds_the_store_deduplicated(self, tmp_path):
+        from repro.harness import permutation_task
+        from repro.store import CircuitStore
+        from repro.synth.options import SynthesisOptions
+
+        options = SynthesisOptions(dedupe_states=True, max_steps=40_000)
+        specs = [
+            [0, 2, 1, 3, 4, 6, 5, 7],   # swap(a,b) on 3 lines
+            [0, 4, 2, 6, 1, 5, 3, 7],   # the same class, relabeled
+            [1, 0, 3, 2, 5, 4, 7, 6],   # NOT(a)
+        ]
+        tasks = [
+            permutation_task(spec, options=options, namespace=f"s{i}")
+            for i, spec in enumerate(specs)
+        ]
+        registry = MetricsRegistry()
+        config = HarnessConfig(
+            store_path=str(tmp_path / "store"), metrics=registry
+        )
+        report = run_sweep("seed", tasks, config=config)
+        assert report.counts == {"ok": 3}
+        store = CircuitStore(str(tmp_path / "store"), read_only=True)
+        assert len(store) == 2  # the relabeled twin deduplicated
+        metrics = registry.as_dict()
+        assert metrics["store_seeded_total"]["value"] == 2
+        assert metrics["store_seed_duplicates_total"]["value"] == 1
+
+    def test_replayed_outcomes_reseed_idempotently(self, tmp_path):
+        from repro.harness import permutation_task
+        from repro.store import CircuitStore
+        from repro.synth.options import SynthesisOptions
+
+        options = SynthesisOptions(dedupe_states=True, max_steps=40_000)
+        tasks = [permutation_task([0, 2, 1, 3], options=options)]
+        config = HarnessConfig(
+            ledger_path=str(tmp_path / "ledger.jsonl"),
+            store_path=str(tmp_path / "store"),
+        )
+        run_sweep("seed", tasks, config=config)
+        second = run_sweep("seed", tasks, config=config)
+        assert second.replayed == 1
+        store = CircuitStore(str(tmp_path / "store"), read_only=True)
+        assert len(store) == 1
+        assert store.verify(deep=True)["ok"]
+
+
 class TestHarnessFromEnv:
     def test_no_vars_means_no_harness(self):
         assert harness_from_env({}) is None
@@ -227,12 +274,20 @@ class TestHarnessFromEnv:
             "RMRLS_MEM_LIMIT_MB": "512",
             "RMRLS_WALL_LIMIT": "30",
             "RMRLS_LEDGER": "/tmp/x.jsonl",
+            "RMRLS_LEDGER_FSYNC": "1",
+            "RMRLS_STORE": "/tmp/store",
         })
         assert config.isolate and config.jobs == 3
         assert config.retry.max_retries == 2
         assert config.mem_limit_mb == 512
         assert config.wall_seconds == 30.0
         assert config.ledger_path == "/tmp/x.jsonl"
+        assert config.ledger_fsync
+        assert config.store_path == "/tmp/store"
+
+    def test_store_alone_triggers_a_harness(self):
+        config = harness_from_env({"RMRLS_STORE": "/tmp/store"})
+        assert config is not None and config.store_path == "/tmp/store"
 
     def test_falsy_isolate_spellings(self):
         assert harness_from_env({"RMRLS_ISOLATE": "0"}) is None

@@ -34,13 +34,15 @@ class TestTopLevel:
         import repro.io
         import repro.postprocess
         import repro.pprm
+        import repro.store
         import repro.synth
         import repro.utils
 
         for module in (
             repro.baselines, repro.benchlib, repro.circuits, repro.esop,
             repro.experiments, repro.functions, repro.gates, repro.io,
-            repro.postprocess, repro.pprm, repro.synth, repro.utils,
+            repro.postprocess, repro.pprm, repro.store, repro.synth,
+            repro.utils,
         ):
             for name in module.__all__:
                 assert getattr(module, name) is not None, (
