@@ -22,6 +22,8 @@ Subcommands::
     rmrls serve --socket S --store DIR          # synthesis cache daemon
     rmrls client --socket S --spec "2,0,1,3"    # one request to the daemon
     rmrls store stats DIR / verify / gc / export  # inspect & repair a store
+    rmrls postmortem runs/flight                # crash-dump fleet timeline
+    rmrls replay runs/flight/t1-a0.dump.json    # deterministic re-run
 
 Observability flags on ``synth`` (see docs/observability.md): ``--json``
 prints one JSON run report to stdout, ``--metrics PATH`` writes the same
@@ -54,6 +56,15 @@ offline tools (``stats``, ``verify [--deep] [--repair]``, ``gc``,
 ``export``), all emitting JSON.  ``rmrls sweep --store DIR`` warms a
 store from every circuit a sweep synthesizes; ``--fsync-ledger``
 makes the resume ledger power-cut durable.
+
+Crash forensics (see docs/observability.md): ``--flight-dir DIR`` on
+``synth``, ``sweep``, and ``serve`` arms a black-box flight recorder
+in every process.  Clean exits leave nothing behind; crashed,
+unsound, OOM-killed, or SIGKILL'd processes leave checksummed crash
+dumps (recovered from the victim's mmap ring file by the
+coordinator).  ``rmrls postmortem DIR`` reconstructs the fleet's
+final moments; ``rmrls replay DUMP`` re-runs the recorded search
+deterministically and checks it reaches the same states.
 """
 
 from __future__ import annotations
@@ -128,6 +139,11 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
                         help="export run metrics (plus trace-derived fleet "
                              "metrics when --trace-dir is set) in "
                              "Prometheus/OpenMetrics text format")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="arm a black-box flight recorder in every "
+                             "process; abnormal exits leave crash dumps "
+                             "under DIR (inspect with `rmrls postmortem`, "
+                             "re-run with `rmrls replay`)")
 
 
 def _resolve_spec(args):
@@ -234,6 +250,8 @@ def _cmd_synth(args) -> int:
     )
     if args.trace_dir:
         options = options.with_(trace_dir=args.trace_dir)
+    if getattr(args, "flight_dir", None):
+        options = options.with_(flight_dir=args.flight_dir)
     if getattr(args, "jobs", None) is not None:
         if args.jobs < 1:
             print("--jobs must be >= 1", file=sys.stderr)
@@ -535,7 +553,59 @@ def _cmd_top(args) -> int:
         once=args.once,
         interval=args.interval,
         iterations=args.iterations,
+        flight_dir=args.flight_dir,
     )
+
+
+def _cmd_postmortem(args) -> int:
+    """Reconstruct the fleet's final moments from flight-recorder dumps."""
+    from repro.obs import build_postmortem, render_postmortem
+
+    if not os.path.isdir(args.flight_dir):
+        print(f"not a directory: {args.flight_dir}", file=sys.stderr)
+        return 2
+    document = build_postmortem(
+        args.flight_dir, recover=not args.no_recover, tail=args.tail
+    )
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_postmortem(document, timeline_tail=args.timeline))
+    # Exit 1 when any dump failed validation — a postmortem you cannot
+    # trust should fail loudly in CI, not render a partial table.
+    return 1 if document.get("invalid") else 0
+
+
+def _cmd_replay(args) -> int:
+    """Re-run the search recorded in a crash dump and check determinism."""
+    from repro.obs import load_dump, replay_dump
+
+    try:
+        document = load_dump(args.dump)
+    except (OSError, ValueError) as error:
+        print(f"cannot load dump: {error}", file=sys.stderr)
+        return 2
+    try:
+        verdict = replay_dump(document)
+    except ValueError as error:
+        print(f"cannot replay dump: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        status = "DETERMINISTIC" if verdict.get("ok") else "DIVERGED"
+        print(f"replay: {status}  "
+              f"checked={verdict.get('checked')} "
+              f"mismatches={len(verdict.get('mismatches') or [])} "
+              f"last_recorded_step={verdict.get('last_step')} "
+              f"steps_replayed={verdict.get('steps_replayed')}")
+        for miss in (verdict.get("mismatches") or [])[:10]:
+            print(f"  step {miss.get('step')}: recorded "
+                  f"{miss.get('recorded')} != replayed "
+                  f"{miss.get('replayed')}")
+        if verdict.get("verdict"):
+            print(f"  note: {verdict['verdict']}")
+    return 0 if verdict.get("ok") else 1
 
 
 def _cmd_embed(args) -> int:
@@ -727,6 +797,11 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
                         help="write distributed-tracing span shards under "
                              "DIR (watch live with `rmrls top DIR`, merge "
                              "with `rmrls trace collate DIR`)")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="arm a flight recorder in every worker "
+                             "(needs --isolate); dead workers leave crash "
+                             "dumps under DIR for `rmrls postmortem` / "
+                             "`rmrls replay`")
 
 
 def _harness_from_args(args, metrics=None):
@@ -744,6 +819,7 @@ def _harness_from_args(args, metrics=None):
         strict=args.strict,
         metrics=metrics,
         trace_dir=args.trace_dir,
+        flight_dir=args.flight_dir,
     )
 
 
@@ -776,7 +852,8 @@ def _cmd_sweep(args) -> int:
         if args.json:
             print(json.dumps(build_sweep_report(report, registry), indent=2))
         else:
-            _print_sweep_summary(report)
+            _print_sweep_summary(report, registry=registry,
+                                 store_path=args.store)
         return 0 if report.failed == 0 and not report.interrupted else 1
 
     results = {}
@@ -854,10 +931,54 @@ def _cmd_sweep(args) -> int:
         print(json.dumps(document, indent=2))
     else:
         print(rendered)
+        for line in _sweep_recovery_lines(registry, args.store):
+            print(line, file=sys.stderr)
     return 0
 
 
-def _print_sweep_summary(report) -> None:
+def _sweep_recovery_lines(registry, store_path=None) -> list[str]:
+    """End-of-sweep recovery summary: what survived damage, what didn't.
+
+    Surfaces the ledger lines skipped on resume, the store-seeding
+    tallies, and (when a store was in play) its quarantine count, so a
+    sweep that silently healed around corruption still reports it.
+    """
+    lines: list[str] = []
+
+    def value(name: str) -> int:
+        metric = registry.get(name) if registry is not None else None
+        return int(getattr(metric, "value", 0) or 0)
+
+    skipped = value("sweep_ledger_skipped_lines")
+    if skipped:
+        lines.append(f"ledger: skipped {skipped} corrupt/partial "
+                     f"line(s) on resume")
+    seeded = value("store_seeded_total")
+    duplicates = value("store_seed_duplicates_total")
+    errors = value("store_seed_errors_total")
+    if seeded or duplicates or errors:
+        lines.append(f"store: seeded {seeded} circuit(s), "
+                     f"{duplicates} duplicate(s), {errors} error(s)")
+    if store_path:
+        try:
+            from repro.store import CircuitStore
+
+            store = CircuitStore(store_path, read_only=True)
+            try:
+                quarantined = int(
+                    store.stats().get("quarantined_lines") or 0
+                )
+            finally:
+                store.close()
+        except Exception:
+            quarantined = 0
+        if quarantined:
+            lines.append(f"store: {quarantined} quarantined line(s) — "
+                         f"run `rmrls store verify --repair {store_path}`")
+    return lines
+
+
+def _print_sweep_summary(report, registry=None, store_path=None) -> None:
     counts = ", ".join(
         f"{status}={count}"
         for status, count in sorted(report.counts.items())
@@ -869,6 +990,8 @@ def _print_sweep_summary(report) -> None:
           f"; {report.replayed} replayed from ledger, "
           f"{report.retries} retries, "
           f"{report.elapsed_seconds:.2f}s")
+    for line in _sweep_recovery_lines(registry, store_path):
+        print(line)
 
 
 def _cmd_serve(args) -> int:
@@ -912,6 +1035,7 @@ def _cmd_serve(args) -> int:
         wall_seconds=args.wall_limit,
         mem_limit_mb=args.mem_limit,
         retry=RetryPolicy(max_retries=args.retries),
+        flight_dir=args.flight_dir,
     )
 
     def ready(_server):
@@ -1187,7 +1311,42 @@ def main(argv: list[str] | None = None) -> int:
                      help="refresh period in seconds (default 1.0)")
     top.add_argument("--iterations", type=int, default=None, metavar="N",
                      help="stop after N redraws (default: until Ctrl-C)")
+    top.add_argument("--flight-dir", metavar="DIR", default=None,
+                     help="flight-recorder directory for the armed-rings/"
+                          "crash-dumps row (default: TRACE_DIR)")
     top.set_defaults(handler=_cmd_top)
+
+    postmortem = commands.add_parser(
+        "postmortem",
+        help="recover flight-recorder rings left by dead workers and "
+             "render a cross-shard timeline of the fleet's final "
+             "events before each death",
+    )
+    postmortem.add_argument("flight_dir",
+                            help="flight directory from --flight-dir")
+    postmortem.add_argument("--json", action="store_true",
+                            help="print the postmortem document as JSON")
+    postmortem.add_argument("--tail", type=int, default=5, metavar="N",
+                            help="final events kept per dead process "
+                                 "(default 5)")
+    postmortem.add_argument("--timeline", type=int, default=20, metavar="N",
+                            help="rows in the rendered fleet timeline "
+                                 "(default 20)")
+    postmortem.add_argument("--no-recover", action="store_true",
+                            help="only read existing dumps; leave "
+                                 "orphaned ring files untouched")
+    postmortem.set_defaults(handler=_cmd_postmortem)
+
+    replay = commands.add_parser(
+        "replay",
+        help="re-run the search recorded in a crash dump from its "
+             "decision log and verify it reaches the same states "
+             "(exit 1 on divergence)",
+    )
+    replay.add_argument("dump", help="a *.dump.json flight dump")
+    replay.add_argument("--json", action="store_true",
+                        help="print the replay verdict as JSON")
+    replay.set_defaults(handler=_cmd_replay)
 
     commands.add_parser(
         "benchmarks", help="list the benchmark suite"
@@ -1330,6 +1489,9 @@ def main(argv: list[str] | None = None) -> int:
     serve_cmd.add_argument("--openmetrics", metavar="PATH", default=None,
                            help="export hit/miss/quarantine counters here "
                                 "after every request")
+    serve_cmd.add_argument("--flight-dir", metavar="DIR", default=None,
+                           help="arm flight recorders in the daemon and "
+                                "its workers; crash dumps land under DIR")
     _add_option_flags(serve_cmd)
     serve_cmd.set_defaults(handler=_cmd_serve)
 

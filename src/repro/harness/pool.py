@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import time
 from dataclasses import dataclass
 
@@ -122,6 +123,8 @@ class WorkerPool:
         context=None,
         clock=time.monotonic,
         trace=None,
+        flight_dir=None,
+        flight=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -134,6 +137,14 @@ class WorkerPool:
         # When set, every attempt gets its own span and the worker
         # inherits a wire context making that span its parent.
         self.trace = trace
+        # Optional flight recording (repro.obs.flight): ``flight_dir``
+        # arms a ring-buffer recorder inside every worker (the wire is
+        # a plain dict — live recorders cannot cross a spawn pickle);
+        # a worker that dies without dumping leaves its ring behind,
+        # and ``_settle`` recovers it into a crash dump.  ``flight`` is
+        # the coordinator's own recorder for scheduling decisions.
+        self.flight_dir = str(flight_dir) if flight_dir else None
+        self.flight = flight
 
     # -- process plumbing --------------------------------------------------
 
@@ -166,11 +177,15 @@ class WorkerPool:
             # inherited context, so workers trace even when the
             # coordinator side does not.
             trace_wire = task.trace
+        flight_wire = None
+        if self.flight_dir is not None:
+            flight_wire = {"dir": self.flight_dir, "task_id": task.task_id}
         receiver, sender = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_entry,
             args=(sender, task.kind, task.payload, options,
-                  pending.attempt, mem, task.runtime, trace_wire),
+                  pending.attempt, mem, task.runtime, trace_wire,
+                  flight_wire),
             daemon=True,
         )
         process.start()
@@ -263,14 +278,20 @@ class WorkerPool:
                     break
                 now = self._clock()
                 self._fill_slots(pending, running, now)
-                if self.trace is not None:
+                if self.trace is not None or self.flight is not None:
                     sched = (len(pending), len(running), len(finished))
                     if sched != last_sched:
                         last_sched = sched
-                        self.trace.event(
-                            "sched", pending=sched[0], running=sched[1],
-                            finished=sched[2],
-                        )
+                        if self.trace is not None:
+                            self.trace.event(
+                                "sched", pending=sched[0], running=sched[1],
+                                finished=sched[2],
+                            )
+                        if self.flight is not None:
+                            self.flight.record(
+                                "sched", pending=sched[0], running=sched[1],
+                                finished=sched[2],
+                            )
                 self._wait(pending, running, now, poll_cap)
                 now = self._clock()
                 for attempt in list(running):
@@ -285,8 +306,24 @@ class WorkerPool:
                             continue
                     running.remove(attempt)
                     self._settle(attempt, now, pending, finished, on_final)
-        except BaseException:
+        except BaseException as error:
             self._terminate_all(running)
+            if self.flight is not None and not isinstance(
+                error, KeyboardInterrupt
+            ):
+                # A coordinator crash is as dump-worthy as a worker one;
+                # Ctrl-C is a clean, user-initiated stop.
+                try:
+                    self.flight.record(
+                        "coordinator_error",
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    self.flight.write_dump(
+                        reason="crash",
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                except Exception:
+                    pass
             raise
         return finished
 
@@ -362,9 +399,51 @@ class WorkerPool:
             attrs["killed"] = True
         attempt.span.end(status=status, **attrs)
 
+    def _reap_flight(self, attempt, raw: dict) -> None:
+        """Recover (or clean up) a settled attempt's flight ring.
+
+        A worker that dumped in-process already removed its ring; one
+        that died silently (SIGKILL on budget, kernel OOM, ``os._exit``)
+        left it behind.  Dump-worthy statuses recover the ring into a
+        checksummed crash dump and link it into the outcome's ``extra``
+        (the taxonomy linkage); clean statuses just drop the stale ring.
+        Recovery failures never fail the settle.
+        """
+        from repro.obs.flight import (
+            DUMP_STATUSES,
+            discard_ring,
+            recover_ring_to_file,
+            worker_ring_path,
+        )
+
+        ring = worker_ring_path(
+            self.flight_dir, attempt.task.task_id, attempt.attempt
+        )
+        try:
+            if not os.path.exists(ring):
+                return
+            if raw.get("status") in DUMP_STATUSES:
+                dump_path = recover_ring_to_file(
+                    ring, reason=raw["status"], error=raw.get("error"),
+                )
+                raw.setdefault("extra", {})["flight_dump"] = dump_path
+                if self.flight is not None:
+                    self.flight.record(
+                        "flight_recovered",
+                        task=attempt.task.task_id,
+                        attempt=attempt.attempt,
+                        status=raw.get("status"),
+                    )
+            else:
+                discard_ring(ring)
+        except (OSError, ValueError):
+            pass
+
     def _settle(self, attempt, now, pending, finished, on_final) -> None:
         raw = self._conclude(attempt)
         status = raw["status"]
+        if self.flight_dir is not None:
+            self._reap_flight(attempt, raw)
         self._end_span(attempt, status)
         elapsed = attempt.prior_elapsed + (now - attempt.started)
         if self.retry.should_retry(status, attempt.attempt):

@@ -93,6 +93,11 @@ class HarnessConfig:
     # the store, deduplicated by canonical key — completed sweeps warm
     # the synthesis cache as a side effect.
     store_path: str | None = None
+    # Flight-recorder directory (repro.obs.flight).  When set (with
+    # ``isolate=True``), every worker arms a ring-buffer black box and
+    # the coordinator records scheduling decisions; abnormal deaths
+    # leave checksummed crash dumps for ``rmrls postmortem``/``replay``.
+    flight_dir: str | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -334,6 +339,20 @@ def run_sweep(
         session = TraceSession.create(config.trace_dir)
         root_span = session.begin_span(f"sweep:{name}", tasks=len(tasks))
 
+    flight = None
+    if config.flight_dir and config.isolate:
+        # The coordinator's own black box.  Fault injection stays
+        # worker-only (``faults="none"``) so an injected SIGKILL kills
+        # workers, not the sweep driving them.
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(
+            os.path.join(config.flight_dir, "coord.ring"),
+            meta={"process": "coord", "sweep": name, "tasks": len(tasks)},
+            faults="none",
+        )
+        flight.record("sweep_start", name=name, tasks=len(tasks))
+
     pending: list[Task] = []
     try:
         for task in tasks:
@@ -384,6 +403,8 @@ def run_sweep(
                     )
                 ),
                 trace=session,
+                flight_dir=config.flight_dir,
+                flight=flight,
             )
             try:
                 pool.run(pending, on_final=on_final)
@@ -401,6 +422,10 @@ def run_sweep(
                     completed=report.completed,
                 )
             session.close()
+        if flight is not None and flight.armed:
+            # A clean (or cleanly interrupted) sweep needs no coordinator
+            # dump; the pool already dumped on an abnormal exit.
+            flight.discard()
         if ledger is not None:
             ledger.close()
         if store is not None:
@@ -423,7 +448,8 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
     ``RMRLS_WALL_LIMIT`` (seconds), ``RMRLS_LEDGER`` (path),
     ``RMRLS_LEDGER_FSYNC`` (truthy fsyncs every ledger line),
     ``RMRLS_STORE`` (canonical circuit store directory to seed),
-    ``RMRLS_TRACE_DIR`` (distributed-trace shard directory).
+    ``RMRLS_TRACE_DIR`` (distributed-trace shard directory),
+    ``RMRLS_FLIGHT_DIR`` (flight-recorder ring/dump directory).
     """
     env = os.environ if environ is None else environ
 
@@ -439,9 +465,10 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
     ledger_fsync = truthy("RMRLS_LEDGER_FSYNC")
     store = env.get("RMRLS_STORE")
     trace_dir = env.get("RMRLS_TRACE_DIR")
+    flight_dir = env.get("RMRLS_FLIGHT_DIR")
     if not (
         isolate or jobs or retries or mem or wall or ledger
-        or ledger_fsync or store or trace_dir
+        or ledger_fsync or store or trace_dir or flight_dir
     ):
         return None
     return HarnessConfig(
@@ -455,6 +482,7 @@ def harness_from_env(environ=None) -> HarnessConfig | None:
         ledger_fsync=ledger_fsync,
         store_path=store or None,
         trace_dir=trace_dir or None,
+        flight_dir=flight_dir or None,
     )
 
 

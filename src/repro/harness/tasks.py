@@ -40,6 +40,7 @@ __all__ = [
 #: task fingerprint.
 _UNSERIALIZABLE_OPTIONS = (
     "observers", "phase_timer", "bound_channel", "trace_dir",
+    "flight_dir",
 )
 
 

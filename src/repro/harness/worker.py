@@ -215,11 +215,19 @@ def _run_portfolio(
     bound = (runtime or {}).get("bound")
     session = (runtime or {}).get("trace_session")
     span = (runtime or {}).get("trace_span")
+    recorder = (runtime or {}).get("flight_recorder")
     if bound is not None:
         if session is not None:
             from repro.obs.spans import TracedBound
 
             bound = TracedBound(bound, session, span)
+        if recorder is not None:
+            # Outermost wrapper: the poll indices and adopted values the
+            # search actually sees are what the decision log must carry
+            # for a replay to reproduce the pruning.
+            from repro.obs.flight import RecordedBound
+
+            bound = RecordedBound(bound, recorder)
         synth_options = synth_options.with_(bound_channel=bound)
     if session is not None:
         from repro.obs.spans import SpanProgressObserver
@@ -355,6 +363,7 @@ def worker_entry(
     mem_limit_mb: int | None,
     runtime: dict | None = None,
     trace: dict | None = None,
+    flight: dict | None = None,
 ) -> None:
     """Subprocess entry point: run the task, send one result dict.
 
@@ -370,6 +379,15 @@ def worker_entry(
     ``runtime["trace_session"]``/``runtime["trace_span"]`` so the
     search can attach its bound and progress taps.  Tracing failures
     never fail the task — the shard is best-effort by design.
+
+    ``flight`` is the pool's flight-recorder wire dict
+    (``{"dir", "task_id", "capacity"?}``): the worker arms an
+    mmap-backed ring at a path the pool can re-derive, injects a
+    :class:`~repro.obs.flight.FlightObserver` into the search options,
+    and on an abnormal outcome writes the crash dump itself
+    (``crash``/``unsound``/``oom``) — silent deaths leave the ring
+    behind for the pool's post-mortem recovery.  Clean outcomes discard
+    the ring.  Like tracing, recorder failures never fail the task.
     """
     session = None
     span = None
@@ -388,6 +406,32 @@ def worker_entry(
         except Exception:  # pragma: no cover - tracing must not kill work
             session = None
             span = None
+    recorder = None
+    if flight is not None:
+        try:
+            from repro.obs.flight import (
+                FlightObserver,
+                arm_worker_recorder,
+                flight_every,
+            )
+
+            every = flight_every()
+            recorder = arm_worker_recorder(
+                flight, kind, payload, options, attempt, trace,
+                every=every,
+            )
+            recorder.register_atexit()
+            observer = FlightObserver(recorder, every=every)
+            options = dict(options)
+            options["observers"] = tuple(
+                options.get("observers") or ()
+            ) + (observer,)
+            runtime = dict(runtime or {})
+            runtime["flight_recorder"] = recorder
+            runtime["flight_observer"] = observer
+            recorder.record("task_start", kind=kind, attempt=attempt)
+        except Exception:  # pragma: no cover - recording must not kill work
+            recorder = None
     try:
         if mem_limit_mb is not None:
             apply_memory_limit(mem_limit_mb)
@@ -404,6 +448,23 @@ def worker_entry(
             "status": STATUS_CRASH,
             "error": traceback.format_exc(limit=20),
         }
+    if recorder is not None:
+        try:
+            recorder.record("task_result", status=result.get("status"))
+            if result.get("status") in (
+                STATUS_CRASH, STATUS_UNSOUND, STATUS_OOM
+            ):
+                # In-process fast path: the interpreter survived, so
+                # dump here (under memory pressure this may still fail —
+                # then the ring survives for the pool to recover).
+                dump_path = recorder.write_dump(
+                    reason=result["status"], error=result.get("error"),
+                )
+                result.setdefault("extra", {})["flight_dump"] = dump_path
+            else:
+                recorder.discard()
+        except Exception:  # pragma: no cover - recording must not kill work
+            pass
     if session is not None:
         try:
             if span is not None:

@@ -30,7 +30,11 @@ Distributed tracing lives alongside the per-process observers:
   attribution, flamegraph folded stacks, cancellation report;
 * :mod:`repro.obs.top` — the live ``rmrls top`` fleet dashboard;
 * :mod:`repro.obs.export` — OpenMetrics textfile export and
-  fleet-level derived metrics.
+  fleet-level derived metrics;
+* :mod:`repro.obs.flight` — the black-box flight recorder: mmap ring
+  buffers armed in every process, checksummed crash dumps recovered
+  after SIGKILL/OOM deaths, ``rmrls postmortem`` fleet timelines, and
+  ``rmrls replay`` deterministic search re-execution.
 
 Observers attach through ``SynthesisOptions.observers``; the phase
 timer through ``SynthesisOptions.phase_timer``.  With neither set the
@@ -53,6 +57,21 @@ from repro.obs.export import (
     write_openmetrics,
 )
 
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FLIGHT_SCHEMA_VERSION,
+    FlightObserver,
+    FlightRecorder,
+    RecordedBound,
+    ScriptedBound,
+    build_postmortem,
+    load_dump,
+    recover_ring,
+    recover_rings,
+    render_postmortem,
+    replay_dump,
+    validate_dump,
+)
 from repro.obs.jsonl import JSONL_SCHEMA_VERSION, JsonlTraceObserver, ProgressObserver
 from repro.obs.metrics import (
     Counter,
@@ -161,4 +180,17 @@ __all__ = [
     "render_openmetrics",
     "parse_openmetrics",
     "write_openmetrics",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "FlightObserver",
+    "RecordedBound",
+    "ScriptedBound",
+    "load_dump",
+    "validate_dump",
+    "recover_ring",
+    "recover_rings",
+    "replay_dump",
+    "build_postmortem",
+    "render_postmortem",
 ]

@@ -11,7 +11,12 @@ events to its own shard; this module repeatedly re-reads those shards
   (pending/running);
 * incumbent bound history — every ``bound_published`` /
   ``bound_adopted`` event, newest last;
-* retry counts — attempt spans carrying a ``retry_of`` link.
+* retry counts — attempt spans carrying a ``retry_of`` link;
+* store-daemon cache counters — the serve daemon's ``cache`` events
+  (hits/misses/coalesced/bypass/quarantined), newest wins;
+* flight-recorder state — armed ``*.ring`` black boxes and recovered
+  ``*.dump.json`` crash dumps in the flight directory (see
+  :mod:`repro.obs.flight`).
 
 The only coordination channel is the filesystem: ``rmrls top`` can run
 on a different terminal (or machine, over a shared filesystem) from
@@ -66,6 +71,8 @@ class FleetSnapshot:
         self.workers: dict[str, _WorkerView] = {}
         self.bound_history: list[dict] = []
         self.sched: dict = {}
+        self.cache: dict = {}
+        self.flight: dict = {"rings": 0, "dumps": 0}
         self.skipped_lines = 0
         self.shards = 0
         self.horizon = 0.0
@@ -119,25 +126,36 @@ def _fold(snapshot: FleetSnapshot, record: dict) -> None:
             })
         elif name == "sched":
             snapshot.sched = dict(attrs, time=stamp)
+        elif name == "cache":
+            snapshot.cache = dict(attrs, time=stamp)
     if stamp > view.last_time:
         view.last_time = stamp
     if stamp > snapshot.horizon:
         snapshot.horizon = stamp
 
 
-def scan_shards(trace_dir: str) -> FleetSnapshot:
+def scan_shards(trace_dir: str, flight_dir: str | None = None) -> FleetSnapshot:
     """Read every shard under ``trace_dir`` into a fresh snapshot.
 
     Mid-write shards are the normal case: partial trailing lines are
     skipped and counted, and a shard that vanishes between listing and
     opening (unlikely, but cheap to survive) is ignored.
+
+    ``flight_dir`` points at the flight-recorder directory for the
+    armed-rings/crash-dumps row; it defaults to ``trace_dir`` (which
+    also covers its ``flight/`` subdirectory), so co-located setups
+    need no extra flag.
     """
     snapshot = FleetSnapshot()
+    from repro.obs.flight import scan_flight_dir
+
+    snapshot.flight = scan_flight_dir(flight_dir or trace_dir)
     try:
         names = sorted(
             name for name in os.listdir(trace_dir)
             if name.endswith(".jsonl")
             and not name.endswith(".trace.jsonl")
+            and not name.endswith(".decisions.jsonl")
         )
     except FileNotFoundError:
         return snapshot
@@ -171,6 +189,21 @@ def render_top(snapshot: FleetSnapshot, bound_tail: int = 5) -> str:
             f"scheduler: pending={sched.get('pending', '?')} "
             f"running={sched.get('running', '?')} "
             f"finished={sched.get('finished', '?')}"
+        )
+    cache = snapshot.cache
+    if cache:
+        lines.append(
+            f"cache: hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"coalesced={cache.get('coalesced', 0)} "
+            f"bypass={cache.get('bypass', 0)} "
+            f"quarantined={cache.get('quarantined', 0)}"
+        )
+    flight = snapshot.flight
+    if flight.get("rings") or flight.get("dumps"):
+        lines.append(
+            f"flight: {flight.get('rings', 0)} armed ring(s), "
+            f"{flight.get('dumps', 0)} crash dump(s)"
         )
     lines.append("")
     lines.append(
@@ -206,6 +239,7 @@ def run_top(
     iterations: int | None = None,
     stream=None,
     clear: bool | None = None,
+    flight_dir: str | None = None,
 ) -> int:
     """The ``rmrls top`` loop: redraw until interrupted.
 
@@ -220,7 +254,7 @@ def run_top(
     count = 0
     try:
         while True:
-            snapshot = scan_shards(trace_dir)
+            snapshot = scan_shards(trace_dir, flight_dir=flight_dir)
             frame = render_top(snapshot)
             if clear:
                 out.write("\x1b[H\x1b[2J")

@@ -28,6 +28,7 @@ and early cancellation are the two ways to trade it away).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -61,6 +62,7 @@ _DRIVER_FIELDS = dict(
     phase_timer=None,
     bound_channel=None,
     trace_dir=None,
+    flight_dir=None,
 )
 
 #: Merged finish reason for unsolved fleets, most significant last: a
@@ -259,9 +261,22 @@ def synthesize_portfolio(
 
         session = TraceSession.create(options.trace_dir)
         root_span = session.begin_span("portfolio", jobs=jobs)
+    flight = None
+    if options.flight_dir:
+        # The driver's black box; workers arm their own through the
+        # pool's ``flight_dir``.  Faults stay worker-only, as in
+        # ``run_sweep``.
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(
+            os.path.join(options.flight_dir, "portfolio-coord.ring"),
+            meta={"process": "portfolio-coord", "jobs": jobs},
+            faults="none",
+        )
     try:
         result = _run_portfolio_driver(
             specification, options, jobs, pool, started, session, root_span,
+            flight,
         )
         if root_span is not None:
             root_span.end(
@@ -269,17 +284,30 @@ def synthesize_portfolio(
                 gate_count=result.gate_count,
             )
         return result
-    except BaseException:
+    except BaseException as error:
         if root_span is not None:
             root_span.end(status="error")
+        if flight is not None and flight.armed and not isinstance(
+            error, KeyboardInterrupt
+        ):
+            try:
+                flight.write_dump(
+                    reason="crash",
+                    error=f"{type(error).__name__}: {error}",
+                )
+            except Exception:
+                pass
         raise
     finally:
         if session is not None:
             session.close()
+        if flight is not None and flight.armed:
+            flight.discard()
 
 
 def _run_portfolio_driver(
     specification, options, jobs, pool, started, session, root_span,
+    flight=None,
 ):
     system = _as_system(specification, options.engine)
 
@@ -337,10 +365,14 @@ def _run_portfolio_driver(
     if pool is None:
         pool = WorkerPool(
             jobs=jobs, budget=WorkerBudget(), retry=RetryPolicy(),
-            trace=session,
+            trace=session, flight_dir=options.flight_dir, flight=flight,
         )
-    elif session is not None and pool.trace is None:
-        pool.trace = session
+    else:
+        if session is not None and pool.trace is None:
+            pool.trace = session
+        if options.flight_dir and pool.flight_dir is None:
+            pool.flight_dir = options.flight_dir
+            pool.flight = flight
 
     # Early cancellation: once a good-enough verified incumbent has
     # *arrived* (not merely been published to the bound — the finder's

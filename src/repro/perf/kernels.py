@@ -461,6 +461,111 @@ def _workload_tracing_overhead(quick: bool, engine=None):
     return body
 
 
+def _workload_flight_overhead(quick: bool, engine=None):
+    """Per-step cost of the flight recorder as a share of a search step.
+
+    Differencing two nearly-equal end-to-end walls cannot resolve a
+    ~1% effect under shared-runner noise (bursty ±5-10% swings dwarf
+    it), so this workload measures the two quantities separately and
+    takes their ratio:
+
+    * the *bare step cost* — median wall of the exhaustive3 spec set,
+      divided by the steps it burned;
+    * the *recorder step cost* — :meth:`FlightObserver.on_step`
+      driven directly over a live mmap ring at the default stride,
+      median of several tight loops (exactly the call the search adds
+      per step when armed, including the strided fold + ring write).
+
+    Publishes both as ``_ns`` metrics plus the headline
+    ``overhead_pct`` (informational — it is a ratio) and
+    ``within_budget`` (1.0 when the recorder adds under 5% to a
+    search step; asserted by the test suite and CI).
+    """
+    import os as _os
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.functions.permutation import Permutation
+    from repro.obs import FlightObserver, FlightRecorder
+    from repro.synth.rmrls import synthesize
+
+    rng = random.Random(_SEED)
+    specs = []
+    for _ in range(12 if quick else 60):
+        images = list(range(8))
+        rng.shuffle(images)
+        specs.append(Permutation(images))
+    max_steps = 400 if quick else 2_000
+    calls = 100_000 if quick else 400_000
+
+    class _Node:
+        __slots__ = ("depth", "terms")
+
+        def __init__(self, depth, terms):
+            self.depth = depth
+            self.terms = terms
+
+    def bare_walls():
+        walls = []
+        steps = 0
+        for _ in range(3):
+            start = _time.perf_counter()
+            steps = sum(
+                synthesize(
+                    spec, max_steps=max_steps, dedupe_states=True,
+                    engine=engine,
+                ).stats.steps
+                for spec in specs
+            )
+            walls.append(_time.perf_counter() - start)
+        return sorted(walls)[1], steps
+
+    def recorder_walls(directory):
+        recorder = FlightRecorder(
+            _os.path.join(directory, "bench.ring"),
+            meta={"process": "bench"}, faults="none",
+        )
+        observer = FlightObserver(recorder)
+        node = _Node(depth=7, terms=12)
+        walls = []
+        try:
+            for _ in range(5):
+                on_step = observer.on_step
+                start = _time.perf_counter()
+                for step in range(1, calls + 1):
+                    on_step(step, node, 64)
+                walls.append(_time.perf_counter() - start)
+        finally:
+            recorder.discard()
+        return sorted(walls)[len(walls) // 2]
+
+    def body():
+        bare_wall, steps = bare_walls()
+        bare_step_ns = bare_wall / max(1, steps) * 1e9
+        directory = tempfile.mkdtemp(prefix="rmrls-flight-bench-")
+        try:
+            recorder_step_ns = recorder_walls(directory) / calls * 1e9
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        overhead_pct = (
+            recorder_step_ns / bare_step_ns * 100.0 if bare_step_ns
+            else 0.0
+        )
+        return {
+            "functions": len(specs),
+            "steps": steps + calls,
+            "metrics": {
+                "bare_step_ns": bare_step_ns,
+                "recorder_step_ns": recorder_step_ns,
+                "overhead_pct": overhead_pct,
+                "within_budget": 1.0 if overhead_pct < 5.0 else 0.0,
+            },
+        }
+
+    return body
+
+
 def _workload_engine_compare(quick: bool, engine=None):
     """Head-to-head backend race on the two hottest kernels.
 
@@ -500,6 +605,7 @@ WORKLOADS = {
     "scalability_probe": _workload_scalability_probe,
     "portfolio": _workload_portfolio,
     "tracing_overhead": _workload_tracing_overhead,
+    "flight_overhead": _workload_flight_overhead,
     "engine_compare": _workload_engine_compare,
 }
 

@@ -70,6 +70,10 @@ __all__ = [
 SERVICE_SCHEMA = "rmrls-serve"
 SERVICE_VERSION = 1
 
+#: Request-latency histogram buckets (seconds): cache hits land in the
+#: sub-10ms buckets, synthesis misses spread over the right tail.
+LATENCY_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
 
 def default_service_options():
     """The service's synthesis defaults for unadorned requests.
@@ -123,6 +127,7 @@ class SynthesisService:
         wall_seconds: float | None = None,
         mem_limit_mb: int | None = None,
         retry: RetryPolicy | None = None,
+        flight_dir: str | None = None,
     ):
         self.store = store
         self.default_options = options_payload(
@@ -132,12 +137,25 @@ class SynthesisService:
         self.trace = trace
         self.batch_window_seconds = batch_window_seconds
         self.verify_hits = verify_hits
+        self.flight = None
+        if flight_dir:
+            # The daemon's black box: the tail of recent request
+            # outcomes, dumped only on an abnormal daemon exit.  Fault
+            # injection stays with synthesis workers.
+            from repro.obs.flight import FlightRecorder
+
+            self.flight = FlightRecorder(
+                os.path.join(flight_dir, "serve.ring"),
+                meta={"process": "serve", "jobs": jobs},
+                faults="none",
+            )
         self._pool = WorkerPool(
             jobs=jobs,
             budget=WorkerBudget(
                 wall_seconds=wall_seconds, mem_limit_mb=mem_limit_mb
             ),
             retry=retry if retry is not None else RetryPolicy(),
+            flight_dir=flight_dir,
         )
         self._git_sha = self._resolve_git_sha()
         self._lock = threading.Lock()
@@ -180,6 +198,26 @@ class SynthesisService:
         with self._trace_lock:
             return self.trace.context_for(span)
 
+    _CACHE_COUNTERS = (
+        ("hits", "store_cache_hits_total"),
+        ("misses", "store_cache_misses_total"),
+        ("coalesced", "store_singleflight_coalesced_total"),
+        ("bypass", "store_cache_bypass_total"),
+        ("quarantined", "store_cache_quarantined_total"),
+    )
+
+    def _cache_event(self) -> None:
+        """Emit a cache-counter snapshot into the trace shard — the
+        ``rmrls top`` dashboard folds these into its cache row."""
+        if self.trace is None:
+            return
+        attrs = {}
+        for label, name in self._CACHE_COUNTERS:
+            metric = self.metrics.get(name)
+            attrs[label] = int(metric.value) if metric is not None else 0
+        with self._trace_lock:
+            self.trace.event("cache", **attrs)
+
     # -- the request path -----------------------------------------------------
 
     def synthesize(self, spec, options: dict | None = None) -> dict:
@@ -206,7 +244,29 @@ class SynthesisService:
             }
         response.setdefault("schema", SERVICE_SCHEMA)
         response.setdefault("version", SERVICE_VERSION)
-        response["elapsed_seconds"] = time.monotonic() - started
+        elapsed = time.monotonic() - started
+        response["elapsed_seconds"] = elapsed
+        # Per-outcome latency histogram: hits should sit in the sub-10ms
+        # buckets; a hit latency drifting into the miss bands is the
+        # first sign of store trouble.
+        outcome = response.get("cache") or response["status"]
+        self.metrics.histogram(
+            "serve_request_seconds", LATENCY_BOUNDS,
+            labels={"outcome": str(outcome)},
+        ).observe(elapsed)
+        if self.flight is not None:
+            try:
+                self.flight.record(
+                    "request",
+                    status=response["status"],
+                    cache=response.get("cache"),
+                    key=(response.get("key") or "")[:16] or None,
+                    gates=response.get("gates"),
+                    elapsed=round(elapsed, 6),
+                )
+            except Exception:  # recording must not fail a request
+                pass
+        self._cache_event()
         self._end_span(
             span,
             status=response["status"],
@@ -467,6 +527,8 @@ class SynthesisService:
             pending, {"status": "error", "error": "service closed"}
         )
         self._batcher.join(timeout=10.0)
+        if self.flight is not None and self.flight.armed:
+            self.flight.discard()
         if self.store is not None:
             self.store.close()
 
@@ -579,6 +641,16 @@ def serve(
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:
         pass
+    except BaseException as error:
+        if service.flight is not None and service.flight.armed:
+            try:
+                service.flight.write_dump(
+                    reason="crash",
+                    error=f"{type(error).__name__}: {error}",
+                )
+            except Exception:
+                pass
+        raise
     finally:
         server.close()
         server._export_metrics()

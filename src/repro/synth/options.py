@@ -166,6 +166,16 @@ class SynthesisOptions:
             observability: never enters task fingerprints and never
             changes results.  ``None`` (default) compiles all tracing
             out.
+        flight_dir: directory for black-box flight-recorder rings and
+            crash dumps (see :mod:`repro.obs.flight` and
+            docs/observability.md).  When set, the portfolio driver
+            (and the sweep harness via ``HarnessConfig.flight_dir``)
+            arms a bounded ring-buffer recorder in every process;
+            abnormal deaths leave checksummed dumps that ``rmrls
+            postmortem`` timelines and ``rmrls replay`` re-runs
+            deterministically.  Like ``trace_dir``: pure
+            observability, never in task fingerprints, never changes
+            results.
         bound_channel: a live object with ``best()``/``publish(depth)``
             (see :class:`repro.parallel.SharedBound`) connecting this
             search to the portfolio's shared incumbent; ``None``
@@ -211,6 +221,7 @@ class SynthesisOptions:
     portfolio_seed_ranks: tuple | None = None
     portfolio_poll_steps: int = 64
     trace_dir: str | None = None
+    flight_dir: str | None = None
     bound_channel: object | None = field(default=None, compare=False)
     engine: str | None = None
 

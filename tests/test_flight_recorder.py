@@ -1,0 +1,222 @@
+"""Flight recorder: ring-file durability, crash dumps, pool recovery.
+
+The ring tests tamper with the on-disk bytes directly (a torn slot is
+exactly one mid-memcpy SIGKILL away); the pool tests inject a real
+SIGKILL via ``RMRLS_FLIGHT_FAULTS`` and assert the coordinator turns
+the victim's ring into a validated, replayable crash dump.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.harness import WorkerPool, permutation_task
+from repro.obs.flight import (
+    DUMP_STATUSES,
+    EVERY_ENV_VAR,
+    FAULTS_ENV_VAR,
+    FlightRecorder,
+    RingFile,
+    dump_checksum,
+    fold_digest,
+    load_dump,
+    parse_faults,
+    recover_ring,
+    replay_dump,
+    scan_flight_dir,
+    validate_dump,
+)
+from repro.synth.options import SynthesisOptions
+
+
+class TestRingFile:
+    def test_roundtrip_preserves_order(self, tmp_path):
+        ring = RingFile(str(tmp_path / "r.ring"))
+        for index in range(10):
+            ring.append({"k": "step", "seq": index})
+        ring.close()
+        records, dropped = RingFile.read(str(tmp_path / "r.ring"))
+        assert dropped == 0
+        assert [record["seq"] for record in records] == list(range(10))
+
+    def test_eviction_keeps_newest_slot_count(self, tmp_path):
+        ring = RingFile(str(tmp_path / "r.ring"), slot_count=8)
+        for index in range(20):
+            ring.append({"k": "step", "seq": index})
+        ring.close()
+        records, dropped = RingFile.read(str(tmp_path / "r.ring"))
+        assert dropped == 0
+        assert [record["seq"] for record in records] == list(range(12, 20))
+
+    def test_oversize_payload_keeps_the_envelope(self, tmp_path):
+        ring = RingFile(str(tmp_path / "r.ring"), slot_size=64)
+        ring.append({"k": "step", "seq": 3, "t": 0.5, "blob": "x" * 500})
+        ring.close()
+        [record], dropped = RingFile.read(str(tmp_path / "r.ring"))
+        assert dropped == 0
+        assert record["truncated"] is True
+        assert record["seq"] == 3
+        assert "blob" not in record
+
+    def test_torn_slot_fails_crc_and_is_counted(self, tmp_path):
+        path = str(tmp_path / "r.ring")
+        ring = RingFile(path, slot_size=64)
+        for index in range(3):
+            ring.append({"k": "step", "seq": index})
+        ring.close()
+        # Flip payload bytes inside the middle slot: header is 32
+        # bytes, so slot 1 starts at 32 + 64.
+        with open(path, "r+b") as handle:
+            handle.seek(32 + 64 + 8)
+            handle.write(b"\xff\xff\xff\xff")
+        records, dropped = RingFile.read(path)
+        assert dropped == 1
+        assert [record["seq"] for record in records] == [0, 2]
+
+    def test_non_ring_file_is_rejected(self, tmp_path):
+        path = tmp_path / "junk.ring"
+        path.write_bytes(b"not a ring at all" * 16)
+        with pytest.raises(ValueError, match="bad magic"):
+            RingFile.read(str(path))
+
+
+class TestFaultSpecs:
+    def test_absent_and_none_disable(self):
+        assert parse_faults(None) is None
+        assert parse_faults("") is None
+        assert parse_faults("none") is None
+
+    def test_sigkill_at_n(self):
+        assert parse_faults("sigkill@7") == ("sigkill", 7)
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            parse_faults("sigkill@0")
+        with pytest.raises(ValueError):
+            parse_faults("explode@3")
+
+
+class TestDigest:
+    def test_deterministic_and_order_sensitive(self):
+        a = fold_digest(fold_digest(0, 1, 2), 3)
+        assert a == fold_digest(0, 1, 2, 3)
+        assert fold_digest(0, 1, 2) != fold_digest(0, 2, 1)
+        assert 0 <= a < (1 << 64)
+
+
+class TestDumps:
+    def test_write_then_load_roundtrips(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "p.ring"),
+                                  meta={"process": "t"}, faults="none")
+        recorder.record("step", step=1, digest=42)
+        recorder.decision("bound_adopted", poll=1, depth=9)
+        path = recorder.write_dump(reason="crash", error="synthetic")
+        document = load_dump(path)
+        assert document["reason"] == "crash"
+        assert document["decisions"][0]["depth"] == 9
+        # write_dump retires the ring: a clean dump leaves no ring
+        # behind for the coordinator to double-recover.
+        assert not os.path.exists(str(tmp_path / "p.ring"))
+
+    def test_tampered_dump_fails_validation(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "p.ring"),
+                                  meta={"process": "t"}, faults="none")
+        recorder.record("step", step=1, digest=42)
+        path = recorder.write_dump(reason="crash", error=None)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["events"][0]["digest"] = 43
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ValueError, match="checksum"):
+            load_dump(path)
+        document["checksum"] = dump_checksum(document)
+        validate_dump(document)  # re-checksummed tamper is consistent
+
+    def test_clean_exit_leaves_nothing(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "p.ring"),
+                                  meta={"process": "t"}, faults="none")
+        recorder.record("step", step=1)
+        recorder.decision("bound_adopted", poll=1, depth=5)
+        recorder.discard()
+        assert os.listdir(tmp_path) == []
+
+    def test_recover_ring_marks_recovered(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "p.ring"),
+                                  meta={"process": "t"}, faults="none")
+        for index in range(5):
+            recorder.record("step", step=index, digest=index)
+        recorder.decision("bound_adopted", poll=2, depth=7)
+        recorder.close()  # simulate a silent death: files stay behind
+        document = recover_ring(str(tmp_path / "p.ring"),
+                                reason="oom", error="killed")
+        validate_dump(document)
+        assert document["recovered"] is True
+        assert document["reason"] == "oom"
+        assert len(document["events"]) == 6  # 5 steps + the decision
+        assert document["decisions"][0]["poll"] == 2
+
+
+class TestScan:
+    def test_counts_rings_and_dumps(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "a.ring"),
+                                  meta={}, faults="none")
+        recorder.record("step", step=1)
+        other = FlightRecorder(str(tmp_path / "b.ring"),
+                               meta={}, faults="none")
+        other.record("step", step=1)
+        other.write_dump(reason="crash", error=None)
+        counts = scan_flight_dir(str(tmp_path))
+        assert counts == {"rings": 1, "dumps": 1}
+        recorder.discard()
+
+
+class TestOverheadBudget:
+    def test_recorder_stays_within_five_percent_of_a_step(self):
+        from repro.perf.kernels import run_workload
+
+        section = run_workload("flight_overhead", quick=True, repeats=1)
+        metrics = section["summary"]["metrics"]
+        assert metrics["within_budget"] == 1.0, metrics
+
+
+def _shuffled_permutation(seed: int, size: int = 16) -> list[int]:
+    images = list(range(size))
+    random.Random(seed).shuffle(images)
+    return images
+
+
+class TestPoolRecovery:
+    def test_sigkilled_worker_leaves_replayable_dump(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(EVERY_ENV_VAR, "1")
+        monkeypatch.setenv(FAULTS_ENV_VAR, "sigkill@20")
+        task = permutation_task(
+            _shuffled_permutation(2004),
+            options=SynthesisOptions(max_steps=4000),
+        )
+        pool = WorkerPool(flight_dir=str(tmp_path))
+        [outcome] = pool.run([task])
+        assert outcome.status in DUMP_STATUSES
+        dump_path = outcome.extra["flight_dump"]
+        document = load_dump(dump_path)
+        assert document["recovered"] is True
+        assert document["meta"]["task_id"] == task.task_id
+        assert document["last_step"] > 0
+        verdict = replay_dump(document)
+        assert verdict["ok"] is True
+        assert verdict["checked"] > 0
+        # Every ring was either dumped or discarded.
+        assert scan_flight_dir(str(tmp_path))["rings"] == 0
+
+    def test_clean_worker_leaves_no_dump(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        task = permutation_task(
+            [1, 0, 2, 3], options=SynthesisOptions(max_steps=4000)
+        )
+        pool = WorkerPool(flight_dir=str(tmp_path))
+        [outcome] = pool.run([task])
+        assert outcome.status == "ok"
+        assert scan_flight_dir(str(tmp_path)) == {"rings": 0, "dumps": 0}
