@@ -714,9 +714,13 @@ def _cmd_table1(args) -> int:
         harness = HarnessConfig(
             isolate=True, jobs=args.jobs, retry=RetryPolicy()
         )
+    corpus = getattr(args, "corpus", None)
+    if corpus is not None and not os.path.exists(corpus):
+        print(f"coverage corpus not found: {corpus}", file=sys.stderr)
+        return 2
     print(render_table1(
         run_table1(sample=sample, seed=args.seed, harness=harness,
-                   engine=args.engine)
+                   engine=args.engine, corpus=corpus)
     ))
     return 0
 
@@ -832,6 +836,9 @@ def _cmd_sweep(args) -> int:
     harness = _harness_from_args(args, metrics=registry)
     target = args.target
 
+    if target in ("plan", "run", "merge", "collect", "validate"):
+        return _cmd_sweep_sharded(args, harness, registry)
+
     if target == "probes":
         behaviors = [
             behavior.strip()
@@ -933,6 +940,167 @@ def _cmd_sweep(args) -> int:
         print(rendered)
         for line in _sweep_recovery_lines(registry, args.store):
             print(line, file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep_sharded(args, harness, registry) -> int:
+    """The sharded coverage sweep verbs: plan, run, merge, collect,
+    validate (see docs/sweeps.md for the full walkthrough)."""
+    import glob
+
+    from repro.sweeps import (
+        CoverageError,
+        ManifestError,
+        MergeError,
+        build_manifest,
+        get_universe,
+        load_manifest,
+        merge_to_coverage,
+        parse_shard_ref,
+        run_shard,
+        shard_ledger_path,
+        validate_coverage,
+        write_manifest,
+    )
+
+    target = args.target
+
+    if target == "validate":
+        if not args.coverage:
+            print("sweep validate needs --coverage PATH", file=sys.stderr)
+            return 2
+        replay = 64 if args.replay is None else args.replay
+        try:
+            report = validate_coverage(
+                args.coverage, replay=None if replay < 0 else replay
+            )
+        except CoverageError as error:
+            print(f"coverage invalid: {error}", file=sys.stderr)
+            return 1
+        print(json.dumps(report, indent=2))
+        return 0 if report["complete"] or args.allow_missing else 1
+
+    if not args.manifest:
+        print(f"sweep {target} needs --manifest PATH", file=sys.stderr)
+        return 2
+
+    if target == "plan":
+        limit = args.limit
+        if args.slice_functions is not None:
+            covered = 0
+            limit = 0
+            for cls in get_universe(args.universe).classes:
+                covered += cls.class_size
+                limit += 1
+                if covered >= args.slice_functions:
+                    break
+        try:
+            manifest = build_manifest(
+                universe=args.universe, shards=args.shards,
+                engine=args.engine, limit=limit,
+            )
+        except (ManifestError, ValueError) as error:
+            print(f"cannot plan sweep: {error}", file=sys.stderr)
+            return 2
+        write_manifest(manifest, args.manifest)
+        print(f"manifest {args.manifest}: {manifest.universe}, "
+              f"{manifest.items} classes / {manifest.functions} functions "
+              f"in {manifest.shard_count} shard(s), "
+              f"fingerprint {manifest.fingerprint}")
+        return 0
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as error:
+        print(f"cannot load manifest: {error}", file=sys.stderr)
+        return 2
+    out_dir = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(args.manifest)), "shards"
+    )
+
+    if target == "run":
+        if not args.shard:
+            print("sweep run needs --shard K/N", file=sys.stderr)
+            return 2
+        try:
+            index, _ = parse_shard_ref(args.shard, manifest)
+        except ManifestError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        summary = run_shard(
+            manifest, index, out_dir, harness=harness,
+            adopt=args.adopt, limit=args.limit,
+        )
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            report = summary["report"]
+            counts = ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(report["counts"].items())
+                if count
+            )
+            print(f"shard {index + 1}/{manifest.shard_count} "
+                  f"({summary['shard']['items']} classes): {counts}; "
+                  f"{report['replayed']} replayed, "
+                  f"{summary['adopted']} adopted, "
+                  f"{report['elapsed_seconds']:.1f}s "
+                  f"-> {summary['ledger']}")
+            for line in _sweep_recovery_lines(registry, args.store):
+                print(line, file=sys.stderr)
+        failed = sum(
+            count for status, count in summary["report"]["counts"].items()
+            if status != "ok"
+        )
+        interrupted = summary["report"]["interrupted"]
+        return 0 if failed == 0 and not interrupted else 1
+
+    # merge / collect
+    ledgers = sorted(
+        glob.glob(os.path.join(out_dir, "shard-*.ledger.jsonl"))
+    ) + list(args.adopt)
+    if not ledgers:
+        print(f"no shard ledgers under {out_dir}", file=sys.stderr)
+        return 2
+    coverage_path = args.coverage or os.path.join(
+        "results", f"coverage{manifest.num_vars}.jsonl"
+    )
+    try:
+        summary = merge_to_coverage(
+            manifest, ledgers, coverage_path,
+            store_path=args.store, registry=registry,
+            strict=not args.allow_missing,
+        )
+    except MergeError as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 1
+    if target == "collect":
+        replay = 64 if args.replay is None else args.replay
+        try:
+            summary["validate"] = validate_coverage(
+                coverage_path, replay=None if replay < 0 else replay
+            )
+        except CoverageError as error:
+            print(f"coverage invalid after merge: {error}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        merge_report = summary["merge"]
+        print(f"coverage {coverage_path}: {summary['classes']} classes / "
+              f"{summary['functions']} functions from "
+              f"{merge_report['ledgers']} ledger(s); "
+              f"{summary['functions_solved']} functions solved, "
+              f"avg {summary['average_gates']} gates; "
+              f"{merge_report['conflicts']} conflict(s), "
+              f"{merge_report['dropped_unsound']} dropped unsound, "
+              f"{merge_report['missing']} missing")
+        if summary.get("store"):
+            stats = summary["store"]
+            print(f"store {stats['path']}: {stats['stored']} seeded, "
+                  f"{stats['duplicates']} duplicate(s), "
+                  f"{stats['errors']} error(s)")
+        print(f"body digest {summary['body_digest']}")
     return 0
 
 
@@ -1392,6 +1560,10 @@ def main(argv: list[str] | None = None) -> int:
     table1.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run the RMRLS column on N isolated workers "
                              "(implies the fault-tolerant harness)")
+    table1.add_argument("--corpus", metavar="PATH",
+                        help="read the RMRLS column from a coverage "
+                             "corpus (results/coverage3.jsonl) instead "
+                             "of re-synthesizing")
     _add_engine_flag(table1)
     table1.set_defaults(handler=_cmd_table1)
 
@@ -1430,9 +1602,11 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "scalability",
-                 "probes"],
+                 "probes", "plan", "run", "merge", "collect", "validate"],
         help="which sweep to run ('probes' injects synthetic "
-             "failures for smoke-testing the harness itself)",
+             "failures for smoke-testing the harness itself; "
+             "plan/run/merge/collect/validate drive a sharded "
+             "coverage sweep — see docs/sweeps.md)",
     )
     sweep.add_argument("--sample", type=int, default=30,
                        help="sample size for table1/table2/table3")
@@ -1451,6 +1625,42 @@ def main(argv: list[str] | None = None) -> int:
                             "unsolved, raise, exit, hang, oom, unsound)")
     sweep.add_argument("--json", action="store_true",
                        help="print a machine-readable sweep report")
+    sweep.add_argument("--manifest", metavar="PATH",
+                       help="sharded sweep: manifest file to write (plan) "
+                            "or execute/merge against (run/merge/collect/"
+                            "validate)")
+    sweep.add_argument("--universe", default="perm3",
+                       help="plan: spec universe to partition "
+                            "(perm2, perm3; default perm3)")
+    sweep.add_argument("--shards", type=int, default=1,
+                       help="plan: number of shards to partition into")
+    sweep.add_argument("--slice-functions", type=int, default=None,
+                       metavar="N",
+                       help="plan: truncate the universe to the smallest "
+                            "canonical-class prefix covering at least N "
+                            "functions (the CI smoke slice)")
+    sweep.add_argument("--shard", metavar="K/N",
+                       help="run: which shard of the manifest to execute "
+                            "(1-based, e.g. 2/8)")
+    sweep.add_argument("--out", metavar="DIR", default=None,
+                       help="run/merge/collect: directory holding the "
+                            "per-shard ledgers and summaries")
+    sweep.add_argument("--adopt", metavar="LEDGER", action="append",
+                       default=[],
+                       help="run: fold terminal outcomes from this prior "
+                            "ledger (any shard layout of the same plan) "
+                            "before executing; repeatable")
+    sweep.add_argument("--coverage", metavar="PATH", default=None,
+                       help="merge/collect/validate: the coverage database "
+                            "file (default results/coverage<n>.jsonl)")
+    sweep.add_argument("--replay", type=int, default=None, metavar="N",
+                       help="validate: simulation-replay N recorded "
+                            "circuits spread across the file "
+                            "(default 64; 0 disables, -1 replays all)")
+    sweep.add_argument("--allow-missing", action="store_true",
+                       help="merge/collect: record classes with no "
+                            "terminal outcome as 'missing' instead of "
+                            "failing the merge")
     _add_engine_flag(sweep)
     _add_harness_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)

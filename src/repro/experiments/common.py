@@ -129,10 +129,10 @@ class ExperimentResult:
         """Functions successfully synthesized."""
         return self.attempted - self.failed
 
-    def record_failure(self, status: str) -> None:
-        """Count one failed attempt under its taxonomy status."""
-        self.failed += 1
-        self.failures[status] = self.failures.get(status, 0) + 1
+    def record_failure(self, status: str, count: int = 1) -> None:
+        """Count ``count`` failed attempts under a taxonomy status."""
+        self.failed += count
+        self.failures[status] = self.failures.get(status, 0) + count
 
     def average_size(self) -> float | None:
         """Mean circuit size over the solved functions."""

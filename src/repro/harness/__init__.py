@@ -5,7 +5,12 @@ bounded retries with escalating budgets, and a resumable JSONL
 checkpoint ledger.  See ``docs/robustness.md`` for the architecture.
 """
 
-from repro.harness.ledger import LEDGER_SCHEMA, LEDGER_VERSION, SweepLedger
+from repro.harness.ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    SweepLedger,
+    read_ledger,
+)
 from repro.harness.pool import WorkerBudget, WorkerPool
 from repro.harness.retry import DEFAULT_RETRYABLE, RetryPolicy
 from repro.harness.sweep import (
@@ -58,6 +63,7 @@ __all__ = [
     "pprm_task",
     "probe_task",
     "random_circuit_task",
+    "read_ledger",
     "run_sweep",
     "status_from_finish_reason",
     "task_fingerprint",

@@ -27,9 +27,14 @@ import json
 import os
 import time
 
-from repro.harness.taxonomy import TaskOutcome
+from repro.harness.taxonomy import STATUS_INTERRUPTED, TaskOutcome
 
-__all__ = ["SweepLedger", "LEDGER_SCHEMA", "LEDGER_VERSION"]
+__all__ = [
+    "SweepLedger",
+    "LEDGER_SCHEMA",
+    "LEDGER_VERSION",
+    "read_ledger",
+]
 
 LEDGER_SCHEMA = "rmrls-sweep-ledger"
 LEDGER_VERSION = 1
@@ -53,6 +58,11 @@ class SweepLedger:
         #: Damaged lines the last :meth:`load` skipped (torn tail,
         #: partial write, unparseable record).
         self.skipped_lines = 0
+        #: ``interrupted`` records the last :meth:`load` ignored.  They
+        #: are written when a pool shutdown cancels in-flight tasks;
+        #: only *terminal* records may resume, or a retried task would
+        #: be double-counted (or worse, never re-run).
+        self.interrupted_records = 0
         self._handle = None
 
     def load(self) -> dict[str, TaskOutcome]:
@@ -64,8 +74,15 @@ class SweepLedger:
         Damaged outcome lines — the truncated tail of a killed sweep,
         or any line that no longer parses — are skipped and counted in
         :attr:`skipped_lines`; their tasks simply re-run.
+
+        Only **terminal** records count: an ``interrupted`` record (a
+        pool shutdown cancelling in-flight work) is ignored — counted
+        in :attr:`interrupted_records` — so the task re-runs, and when
+        the ledger holds both an ``interrupted`` and a terminal record
+        for one task id, only the terminal one is replayed.
         """
         self.skipped_lines = 0
+        self.interrupted_records = 0
         if not os.path.exists(self.path):
             return {}
         outcomes: dict[str, TaskOutcome] = {}
@@ -100,7 +117,10 @@ class SweepLedger:
             except (KeyError, TypeError, ValueError):
                 self.skipped_lines += 1
                 continue
-            outcomes[outcome.task_id] = outcome  # last record wins
+            if outcome.status == STATUS_INTERRUPTED:
+                self.interrupted_records += 1
+                continue
+            outcomes[outcome.task_id] = outcome  # last terminal wins
         return outcomes
 
     @staticmethod
@@ -156,3 +176,56 @@ class SweepLedger:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def read_ledger(path: str) -> dict:
+    """Tolerantly read any sweep ledger, whatever sweep it belongs to.
+
+    The cross-shard reader: where :meth:`SweepLedger.load` guards a
+    *resume* (and therefore insists on its own sweep name), a merge or
+    an adoption step folds ledgers written by other nodes — possibly
+    under a different shard layout — and only needs the outcomes plus
+    enough header to know what it is looking at.
+
+    Returns ``{"header", "outcomes", "skipped_lines",
+    "interrupted_records"}`` where ``outcomes`` maps task id to the
+    last *terminal* :class:`TaskOutcome`, with the same tolerance for
+    torn or damaged lines as a resume.  Raises :class:`ValueError`
+    only when the file is not a sweep ledger at all.
+    """
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path} is empty, not a {LEDGER_SCHEMA} file")
+    header = SweepLedger._parse_line(lines[0])
+    if header is None or header.get("schema") != LEDGER_SCHEMA:
+        raise ValueError(f"{path} is not a {LEDGER_SCHEMA} file")
+    if header.get("version") != LEDGER_VERSION:
+        raise ValueError(
+            f"{path}: unsupported ledger version {header.get('version')!r}"
+        )
+    outcomes: dict[str, TaskOutcome] = {}
+    skipped = 0
+    interrupted = 0
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        data = SweepLedger._parse_line(line)
+        if data is None:
+            skipped += 1
+            continue
+        try:
+            outcome = TaskOutcome.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            skipped += 1
+            continue
+        if outcome.status == STATUS_INTERRUPTED:
+            interrupted += 1
+            continue
+        outcomes[outcome.task_id] = outcome
+    return {
+        "header": header,
+        "outcomes": outcomes,
+        "skipped_lines": skipped,
+        "interrupted_records": interrupted,
+    }

@@ -52,6 +52,7 @@ from repro.obs.collate import (
 )
 from repro.obs.export import (
     derive_fleet_metrics,
+    derive_shard_metrics,
     parse_openmetrics,
     render_openmetrics,
     write_openmetrics,
@@ -177,6 +178,7 @@ __all__ = [
     "render_top",
     "run_top",
     "derive_fleet_metrics",
+    "derive_shard_metrics",
     "render_openmetrics",
     "parse_openmetrics",
     "write_openmetrics",

@@ -29,6 +29,7 @@ __all__ = [
     "write_openmetrics",
     "parse_openmetrics",
     "derive_fleet_metrics",
+    "derive_shard_metrics",
 ]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -325,4 +326,74 @@ def derive_fleet_metrics(collated: dict, registry) -> dict:
         "cancellation_latency_seconds": latencies,
         "bound_adoptions": adoptions,
         "bound_publications": publications,
+    }
+
+
+def derive_shard_metrics(summaries, registry) -> dict:
+    """Install cross-shard sweep metrics from shard summary sidecars.
+
+    ``summaries`` are the ``shard-kofN.summary.json`` documents a
+    sharded sweep leaves next to its ledgers (see
+    :func:`repro.sweeps.run_shard`).  A shard's live progress gauges
+    die with its process; the sidecars persist, so this is how a
+    collect step (or an operator watching a fleet mid-sweep) answers
+    "which shard is the straggler" after the fact:
+
+    * ``sweep_shard_elapsed_seconds{shard=...}`` /
+      ``sweep_shard_solved{shard=...}`` /
+      ``sweep_shard_seconds_per_class{shard=...}`` — per-shard work
+      rate from each summary's sweep report;
+    * ``sweep_shard_straggler_ratio`` — slowest shard's elapsed time
+      over the mean elapsed time (1.0 = perfectly balanced; the number
+      that decides whether re-sharding is worth it);
+    * ``sweep_shards_total`` / ``sweep_shards_failed`` — fleet size
+      and how many shards reported non-``ok`` outcomes.
+
+    Returns a JSON-safe summary mirroring what was installed.
+    """
+    elapsed: dict[str, float] = {}
+    failed = 0
+    per_shard: dict[str, dict] = {}
+    for summary in summaries:
+        spec = summary.get("shard") or {}
+        report = summary.get("report") or {}
+        counts = dict(report.get("counts") or {})
+        label = str(spec.get("index", len(per_shard)) + 1)
+        seconds = float(report.get("elapsed_seconds") or 0.0)
+        solved = int(summary.get("solved") or 0)
+        items = int(spec.get("stop", 0)) - int(spec.get("start", 0))
+        elapsed[label] = seconds
+        not_ok = sum(
+            value for status, value in counts.items() if status != "ok"
+        )
+        if not_ok:
+            failed += 1
+        labels = {"shard": label}
+        registry.gauge(
+            "sweep_shard_elapsed_seconds", labels=labels
+        ).set(round(seconds, 6))
+        registry.gauge("sweep_shard_solved", labels=labels).set(solved)
+        if items > 0:
+            registry.gauge(
+                "sweep_shard_seconds_per_class", labels=labels
+            ).set(round(seconds / items, 6))
+        per_shard[label] = {
+            "elapsed_seconds": round(seconds, 6),
+            "items": items,
+            "solved": solved,
+            "adopted": int(summary.get("adopted") or 0),
+            "failed_tasks": not_ok,
+        }
+    straggler = None
+    if elapsed:
+        mean = sum(elapsed.values()) / len(elapsed)
+        if mean > 0:
+            straggler = round(max(elapsed.values()) / mean, 6)
+            registry.gauge("sweep_shard_straggler_ratio").set(straggler)
+    registry.gauge("sweep_shards_total").set(len(per_shard))
+    registry.gauge("sweep_shards_failed").set(failed)
+    return {
+        "shards": per_shard,
+        "straggler_ratio": straggler,
+        "failed_shards": failed,
     }

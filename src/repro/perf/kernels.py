@@ -566,6 +566,59 @@ def _workload_flight_overhead(quick: bool, engine=None):
     return body
 
 
+def _workload_sweep_shard(quick: bool, engine=None):
+    """One coverage-sweep shard end to end, ledger to merged corpus.
+
+    Plans a fixed manifest over the first classes of the 3-variable
+    universe, executes its single shard into a scratch directory (with
+    the fsync'd per-task ledger the real sweep writes), then merges the
+    ledger into a checksummed coverage file with full replay
+    validation.  This is the inner loop of ``rmrls sweep run`` +
+    ``collect`` — the path the 40,320-function corpus is built on — so
+    its wall-clock gates the whole sharding/merge overhead (ledger
+    fsyncs, adoption probe, replay validation), not just raw
+    synthesis.  ``metrics`` adds the gated ``classes_per_s`` rate."""
+    import shutil
+    import tempfile
+
+    from repro.sweeps import (
+        build_manifest,
+        merge_to_coverage,
+        run_shard,
+        shard_ledger_path,
+    )
+
+    manifest = build_manifest(
+        "perm3", shards=1, engine=engine, limit=8 if quick else 24
+    )
+
+    def body():
+        directory = tempfile.mkdtemp(prefix="rmrls-sweep-bench-")
+        try:
+            summary = run_shard(manifest, 0, directory)
+            coverage = merge_to_coverage(
+                manifest,
+                [shard_ledger_path(directory, manifest, 0)],
+                f"{directory}/coverage.jsonl",
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        elapsed = summary["report"]["elapsed_seconds"]
+        return {
+            "classes": manifest.items,
+            "functions": manifest.functions,
+            "solved": summary["solved"],
+            "body_digest": coverage["body_digest"],
+            "metrics": {
+                "classes_per_s": (
+                    manifest.items / elapsed if elapsed else 0.0
+                ),
+            },
+        }
+
+    return body
+
+
 def _workload_engine_compare(quick: bool, engine=None):
     """Head-to-head backend race on the two hottest kernels.
 
@@ -606,6 +659,7 @@ WORKLOADS = {
     "portfolio": _workload_portfolio,
     "tracing_overhead": _workload_tracing_overhead,
     "flight_overhead": _workload_flight_overhead,
+    "sweep_shard": _workload_sweep_shard,
     "engine_compare": _workload_engine_compare,
 }
 

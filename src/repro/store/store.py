@@ -650,6 +650,39 @@ class CircuitStore:
                 count += 1
         return count
 
+    def merge_circuits(self, entries, registry=None) -> dict:
+        """Bulk canonical-dedup merge of ``(circuit, provenance)`` pairs.
+
+        The sweep-merge ingestion path: every circuit is canonicalized
+        and admitted through the same best-per-key rule as
+        :meth:`put`, so folding a 6,828-class coverage corpus (or
+        another store's export) into a store that already knows most
+        of it costs only the canonicalizations — duplicates append
+        nothing.  Per-entry failures are counted, never raised; one
+        bad circuit must not abort a bulk merge.  Returns
+        ``{"seen", "stored", "duplicates", "errors"}``.
+        """
+        stats = {"seen": 0, "stored": 0, "duplicates": 0, "errors": 0}
+        for circuit, provenance in entries:
+            stats["seen"] += 1
+            try:
+                canonical = canonicalize(circuit)
+                _, stored = self.put(
+                    canonical, circuit, provenance=provenance
+                )
+            except (StoreError, ValueError, OSError):
+                stats["errors"] += 1
+                if registry is not None:
+                    registry.counter("store_seed_errors_total").inc()
+                continue
+            stats["stored" if stored else "duplicates"] += 1
+            if registry is not None:
+                registry.counter(
+                    "store_seeded_total" if stored
+                    else "store_seed_duplicates_total"
+                ).inc()
+        return stats
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:

@@ -1,0 +1,92 @@
+"""Sharded exhaustive sweeps and the coverage corpus.
+
+The distributed layer over the PR-2 harness (ROADMAP item 4): a
+deterministic :mod:`manifest <repro.sweeps.manifest>` partitions a
+spec :mod:`universe <repro.sweeps.universe>` into shards with stable
+fingerprints, :mod:`shard <repro.sweeps.shard>` runs execute each
+shard on the WorkerPool with their own fsync'd ledgers, and
+:mod:`merge <repro.sweeps.merge>` folds the ledgers into the
+checksummed :mod:`coverage corpus <repro.sweeps.corpus>` —
+``results/coverage3.jsonl``, the standing regression oracle of
+best-known gate counts per canonical class.
+"""
+
+from repro.sweeps.corpus import (
+    COVERAGE_SCHEMA,
+    COVERAGE_VERSION,
+    CoverageError,
+    circuit_from_record,
+    coverage_histogram,
+    encode_circuit,
+    load_coverage,
+    validate_coverage,
+    write_coverage,
+)
+from repro.sweeps.manifest import (
+    ManifestError,
+    ShardSpec,
+    SweepManifest,
+    build_manifest,
+    load_manifest,
+    parse_shard_ref,
+    write_manifest,
+)
+from repro.sweeps.merge import (
+    MergeError,
+    coverage_summary,
+    merge_ledgers,
+    merge_to_coverage,
+    seed_coverage_store,
+)
+from repro.sweeps.shard import (
+    adopt_outcomes,
+    run_shard,
+    shard_ledger_path,
+    shard_summary_path,
+    shard_sweep_name,
+)
+from repro.sweeps.universe import (
+    UNIVERSES,
+    CanonicalClass,
+    Universe,
+    enumerate_classes,
+    get_universe,
+    perm_rank,
+    perm_unrank,
+)
+
+__all__ = [
+    "COVERAGE_SCHEMA",
+    "COVERAGE_VERSION",
+    "CanonicalClass",
+    "CoverageError",
+    "ManifestError",
+    "MergeError",
+    "ShardSpec",
+    "SweepManifest",
+    "UNIVERSES",
+    "Universe",
+    "adopt_outcomes",
+    "build_manifest",
+    "circuit_from_record",
+    "coverage_histogram",
+    "coverage_summary",
+    "encode_circuit",
+    "enumerate_classes",
+    "get_universe",
+    "load_coverage",
+    "load_manifest",
+    "merge_ledgers",
+    "merge_to_coverage",
+    "parse_shard_ref",
+    "perm_rank",
+    "perm_unrank",
+    "run_shard",
+    "seed_coverage_store",
+    "shard_ledger_path",
+    "shard_summary_path",
+    "shard_sweep_name",
+    "validate_coverage",
+    "write_coverage",
+    "write_manifest",
+]

@@ -1,0 +1,209 @@
+"""Spec universes for exhaustive sweeps, enumerated by canonical rank.
+
+The paper's Table I universe is every reversible function of three
+variables — all ``8! = 40 320`` permutations of ``{0..7}``.  Under
+simultaneous input/output wire relabeling (the equivalence the PR-7
+store keys on, :mod:`repro.store.canonical`) those functions fall into
+**canonical classes**: conjugation orbits of the ``n!`` bit
+permutations.  Gate count is invariant on a class — relabeling the
+lines of a circuit for ``p`` yields a circuit of the same size for any
+conjugate of ``p`` — so one synthesis per class representative covers
+the whole orbit, a 6x saving at ``n = 3`` (6 828 classes cover all
+40 320 functions).
+
+A universe enumerates the class representatives in **canonical rank**
+order: representatives are the lexicographically smallest image vectors
+of their orbits, ranked by that same lexicographic order.  The
+enumeration is a pure function of ``num_vars``, so every process —
+manifest planner, shard runner, merger, test suite — regenerates the
+identical item list from the universe name alone; nothing about the
+universe ever needs to travel between nodes except its name.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.store.canonical import bit_permutation
+
+__all__ = [
+    "CanonicalClass",
+    "Universe",
+    "UNIVERSES",
+    "get_universe",
+    "enumerate_classes",
+    "perm_rank",
+    "perm_unrank",
+]
+
+
+def perm_rank(images) -> int:
+    """Lehmer-code rank of an image vector among all permutations of
+    its ground set (lexicographic order, identity = 0)."""
+    images = list(images)
+    size = len(images)
+    rank = 0
+    for i, image in enumerate(images):
+        smaller = sum(1 for later in images[i + 1:] if later < image)
+        factorial = 1
+        for k in range(2, size - i):
+            factorial *= k
+        rank += smaller * factorial
+    return rank
+
+
+def perm_unrank(rank: int, size: int) -> tuple[int, ...]:
+    """Inverse of :func:`perm_rank`: the rank-th permutation of
+    ``range(size)`` in lexicographic order."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    factorials = [1] * size
+    for k in range(2, size):
+        factorials[k] = factorials[k - 1] * k
+    total = factorials[size - 1] * size
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    remaining = list(range(size))
+    images = []
+    for i in range(size):
+        factorial = factorials[size - 1 - i] if size - 1 - i >= 0 else 1
+        index, rank = divmod(rank, factorial)
+        images.append(remaining.pop(index))
+    return tuple(images)
+
+
+@dataclass(frozen=True)
+class CanonicalClass:
+    """One relabeling-equivalence class of a spec universe.
+
+    ``images`` is the class representative (the lex-min conjugate);
+    ``class_rank`` its position in the canonical enumeration;
+    ``class_size`` the orbit size (how many of the universe's functions
+    this class covers); ``perm_rank`` the representative's Lehmer rank
+    among all permutations, for cross-referencing function-level data.
+    """
+
+    class_rank: int
+    images: tuple[int, ...]
+    class_size: int
+    perm_rank: int
+
+
+@lru_cache(maxsize=4)
+def enumerate_classes(num_vars: int) -> tuple[CanonicalClass, ...]:
+    """All canonical classes of ``num_vars``-variable permutations.
+
+    One pass over the ``(2^n)!`` permutations in lexicographic order:
+    a permutation is a representative iff it is lex-minimal among its
+    conjugates under the ``n!`` wire relabelings; the orbit size falls
+    out of the same conjugate set.  Cached per width — the scan is
+    ~0.6 s for ``n = 3`` and every caller in a process shares it.
+    """
+    if not 1 <= num_vars <= 3:
+        raise ValueError(
+            f"exhaustive class enumeration supports 1..3 variables "
+            f"(got {num_vars}); (2^n)! grows too fast beyond that"
+        )
+    size = 1 << num_vars
+    sigmas = [
+        bit_permutation(pi)
+        for pi in itertools.permutations(range(num_vars))
+    ]
+    classes: list[CanonicalClass] = []
+    for rank, images in enumerate(itertools.permutations(range(size))):
+        orbit = set()
+        minimal = True
+        for sigma in sigmas:
+            out = [0] * size
+            for x, image in enumerate(images):
+                out[sigma[x]] = sigma[image]
+            conjugate = tuple(out)
+            if conjugate < images:
+                minimal = False
+                break
+            orbit.add(conjugate)
+        if minimal:
+            classes.append(
+                CanonicalClass(
+                    class_rank=len(classes),
+                    images=images,
+                    class_size=len(orbit),
+                    perm_rank=rank,
+                )
+            )
+    return tuple(classes)
+
+
+@dataclass(frozen=True)
+class Universe:
+    """A named, self-describing spec universe.
+
+    ``size`` is the number of sweep items (canonical classes);
+    ``function_count`` the number of functions those classes cover —
+    the sum of the orbit sizes, e.g. 40 320 for ``perm3``.
+    """
+
+    name: str
+    num_vars: int
+    description: str
+
+    @property
+    def classes(self) -> tuple[CanonicalClass, ...]:
+        return enumerate_classes(self.num_vars)
+
+    @property
+    def size(self) -> int:
+        return len(self.classes)
+
+    @property
+    def function_count(self) -> int:
+        return sum(cls.class_size for cls in self.classes)
+
+    def item(self, class_rank: int) -> CanonicalClass:
+        classes = self.classes
+        if not 0 <= class_rank < len(classes):
+            raise ValueError(
+                f"class rank {class_rank} out of range for {self.name} "
+                f"({len(classes)} classes)"
+            )
+        return classes[class_rank]
+
+    def slice(self, start: int, stop: int) -> tuple[CanonicalClass, ...]:
+        """Items ``start <= class_rank < stop`` (a shard's share)."""
+        if not 0 <= start <= stop <= self.size:
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) of {self.name} "
+                f"({self.size} classes)"
+            )
+        return self.classes[start:stop]
+
+
+#: The registered spec universes.  ``perm2`` exists for fast tests and
+#: smoke runs; ``perm3`` is the paper's Table I universe.
+UNIVERSES = {
+    "perm2": Universe(
+        name="perm2",
+        num_vars=2,
+        description="all 24 two-variable reversible functions "
+                    "(14 canonical classes)",
+    ),
+    "perm3": Universe(
+        name="perm3",
+        num_vars=3,
+        description="all 40,320 three-variable reversible functions "
+                    "(6,828 canonical classes) — the paper's Table I "
+                    "universe",
+    ),
+}
+
+
+def get_universe(name: str) -> Universe:
+    """Look up a registered universe by name."""
+    universe = UNIVERSES.get(name)
+    if universe is None:
+        raise ValueError(
+            f"unknown universe {name!r}; known: {', '.join(sorted(UNIVERSES))}"
+        )
+    return universe

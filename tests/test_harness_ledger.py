@@ -7,8 +7,12 @@ import pytest
 from repro.harness import (
     LEDGER_SCHEMA,
     LEDGER_VERSION,
+    HarnessConfig,
     SweepLedger,
     TaskOutcome,
+    probe_task,
+    read_ledger,
+    run_sweep,
 )
 
 
@@ -110,3 +114,101 @@ class TestLedgerSafety:
         ledger = SweepLedger(str(tmp_path / "ledger.jsonl"), sweep="s")
         with pytest.raises(RuntimeError):
             ledger.record(_outcome("aaa"))
+
+
+class TestTerminalRecordsOnly:
+    """Regression: resume must count terminal records only.
+
+    A pool shutdown writes ``interrupted`` records for cancelled
+    in-flight tasks; those tasks were *not* finished, so a resume must
+    re-run them — and when a later run adds a terminal record for the
+    same task id, only the terminal one may count.
+    """
+
+    def test_interrupted_record_is_not_replayed(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa", "interrupted"))
+        ledger = SweepLedger(path, sweep="s")
+        assert ledger.load() == {}
+        assert ledger.interrupted_records == 1
+
+    def test_interrupted_plus_terminal_counts_terminal_once(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa", "interrupted"))
+            ledger.record(_outcome("aaa", "ok"))
+            # The reverse order too: a cancellation raced in after the
+            # retry's terminal record hit the ledger.
+            ledger.record(_outcome("bbb", "ok"))
+            ledger.record(_outcome("bbb", "interrupted"))
+        ledger = SweepLedger(path, sweep="s")
+        loaded = ledger.load()
+        assert {task_id: o.status for task_id, o in loaded.items()} == {
+            "aaa": "ok", "bbb": "ok",
+        }
+        assert ledger.interrupted_records == 2
+
+    def test_resume_rexecutes_interrupted_and_does_not_double_count(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "ledger.jsonl")
+        tasks = [
+            probe_task("ok", namespace=f"resume-fix:{index}")
+            for index in range(3)
+        ]
+        # A killed first run checkpointed task 0 and wrote a shutdown
+        # cancellation for task 1.
+        with SweepLedger(path, sweep="resume-fix") as ledger:
+            ledger.record(
+                TaskOutcome(task_id=tasks[0].task_id, status="ok")
+            )
+            ledger.record(
+                TaskOutcome(
+                    task_id=tasks[1].task_id, status="interrupted"
+                )
+            )
+        report = run_sweep(
+            "resume-fix", tasks, HarnessConfig(ledger_path=path)
+        )
+        # Tasks 1 and 2 executed, task 0 replayed; exactly 3 counted.
+        assert report.completed == report.total == 3
+        assert report.replayed == 1
+        assert report.counts == {"ok": 3}
+        # The ledger now holds interrupted + terminal for task 1; a
+        # second resume replays all three, still without double counts.
+        again = run_sweep(
+            "resume-fix", tasks, HarnessConfig(ledger_path=path)
+        )
+        assert again.completed == again.total == 3
+        assert again.replayed == 3
+        assert again.counts == {"ok": 3}
+
+
+class TestReadLedger:
+    def test_reads_any_sweep_and_skips_interrupted(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="someone-elses-shard") as ledger:
+            ledger.record(_outcome("aaa"))
+            ledger.record(_outcome("bbb", "interrupted"))
+        parsed = read_ledger(path)
+        assert parsed["header"]["sweep"] == "someone-elses-shard"
+        assert set(parsed["outcomes"]) == {"aaa"}
+        assert parsed["interrupted_records"] == 1
+
+    def test_tolerates_torn_lines(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with SweepLedger(path, sweep="s") as ledger:
+            ledger.record(_outcome("aaa"))
+            ledger.record(_outcome("bbb"))
+        content = open(path).read()
+        open(path, "w").write(content[:-15])
+        parsed = read_ledger(path)
+        assert set(parsed["outcomes"]) == {"aaa"}
+        assert parsed["skipped_lines"] == 1
+
+    def test_rejects_non_ledger(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"schema": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a"):
+            read_ledger(str(path))

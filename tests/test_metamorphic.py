@@ -1,0 +1,125 @@
+"""Metamorphic properties of synthesis under wire relabeling.
+
+Renaming the wires of a specification conjugates it: ``q = sigma o p o
+sigma^{-1}``.  Nothing about synthesis difficulty changes under that
+rename, which yields free oracles no hand-written expected value can
+match in coverage:
+
+* ``p`` and any relabeling of ``p`` land in the **same canonical
+  class** (identical canonical key, identical representative);
+* relabeling a circuit for ``p`` yields a circuit for ``q`` with the
+  **same gate count** — so best-known-per-class is well defined, which
+  is the invariant the whole coverage corpus stands on;
+* synthesizing both through the canonical-representative path produces
+  **equal gate counts**, because both resolve to one representative;
+* the **inverse** of a circuit for ``p`` simulates to ``p^{-1}``.
+"""
+
+import random
+
+import pytest
+
+from repro.functions.permutation import Permutation
+from repro.store.canonical import (
+    bit_permutation,
+    canonicalize,
+    relabel_circuit,
+)
+from repro.experiments.common import TABLE1_OPTIONS
+from repro.synth.rmrls import synthesize
+
+# Every synthesis below runs the Table I protocol (step-capped, state
+# dedupe on) — the same options the coverage corpus is built with.
+# Library-default options prove optimality without a dedupe table and
+# can run unboundedly long even on 2-variable specs.
+
+SAMPLES = 12
+
+
+def _random_case(rng, num_vars):
+    """One seeded (p, pi, q) triple with q a wire relabeling of p."""
+    size = 1 << num_vars
+    images = list(range(size))
+    rng.shuffle(images)
+    relabel = list(range(num_vars))
+    rng.shuffle(relabel)
+    sigma = bit_permutation(relabel)
+    conjugate = [0] * size
+    for x, image in enumerate(images):
+        conjugate[sigma[x]] = sigma[image]
+    return Permutation(images), relabel, Permutation(conjugate)
+
+
+def _cases(num_vars, samples=SAMPLES):
+    rng = random.Random(0x51_6A_2026 + num_vars)
+    return [_random_case(rng, num_vars) for _ in range(samples)]
+
+
+class TestSameCanonicalClass:
+    @pytest.mark.parametrize("num_vars", [2, 3])
+    def test_relabeled_spec_lands_in_same_class(self, num_vars):
+        for p, relabel, q in _cases(num_vars):
+            canonical_p = canonicalize(p)
+            canonical_q = canonicalize(q)
+            assert canonical_p.key == canonical_q.key
+            assert canonical_p.images == canonical_q.images
+
+    def test_distinct_classes_stay_distinct(self):
+        # Sanity check the oracle itself: unrelated specs must not
+        # collide, or "same class" would be vacuous.
+        keys = {
+            canonicalize(p).key
+            for p, _, _ in _cases(3, samples=20)
+        }
+        assert len(keys) > 1
+
+
+class TestEqualGateCounts:
+    @pytest.mark.parametrize("num_vars", [2, 3])
+    def test_relabeled_circuit_solves_conjugate_with_equal_gates(
+        self, num_vars
+    ):
+        for p, relabel, q in _cases(num_vars, samples=6):
+            result = synthesize(p, TABLE1_OPTIONS)
+            assert result.solved
+            assert result.circuit.implements(p)
+            relabeled = relabel_circuit(result.circuit, relabel)
+            assert relabeled.implements(q)
+            assert relabeled.gate_count() == result.circuit.gate_count()
+
+    def test_canonical_representative_path_gives_equal_counts(self):
+        """Synthesizing p and its relabeling through the canonical
+        representative (the corpus/store path) is one search: both
+        specs resolve to the identical representative, so the
+        per-class best-known gate count is well defined."""
+        for p, relabel, q in _cases(3, samples=6):
+            canonical_p = canonicalize(p)
+            canonical_q = canonicalize(q)
+            rep_result = synthesize(
+                canonical_p.canonical_permutation(), TABLE1_OPTIONS
+            )
+            assert rep_result.solved
+            # The representative's circuit maps back to *both* specs
+            # with the same size.
+            for canonical, spec in ((canonical_p, p), (canonical_q, q)):
+                back = canonical.from_canonical(rep_result.circuit)
+                assert back.implements(spec)
+                assert back.gate_count() == rep_result.circuit.gate_count()
+
+
+class TestInverseCircuit:
+    @pytest.mark.parametrize("num_vars", [2, 3])
+    def test_inverse_of_circuit_simulates_inverse_function(self, num_vars):
+        for p, _, _ in _cases(num_vars, samples=6):
+            result = synthesize(p, TABLE1_OPTIONS)
+            assert result.solved
+            inverse = result.circuit.inverse()
+            assert inverse.implements(p.inverse())
+            assert inverse.to_permutation() == p.inverse()
+
+    def test_double_inverse_is_identity_on_the_circuit_level(self):
+        for p, _, _ in _cases(3, samples=3):
+            result = synthesize(p, TABLE1_OPTIONS)
+            assert result.solved
+            assert result.circuit.inverse().inverse().to_permutation() \
+                == result.circuit.to_permutation()

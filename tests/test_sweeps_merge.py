@@ -1,0 +1,319 @@
+"""Merge conflict rules, torn ledgers, and byte-identical coverage."""
+
+import json
+
+import pytest
+
+from repro.functions.permutation import Permutation
+from repro.harness import SweepLedger, TaskOutcome
+from repro.io.real_format import dump_real
+from repro.sweeps import (
+    MergeError,
+    build_manifest,
+    circuit_from_record,
+    load_coverage,
+    merge_ledgers,
+    merge_to_coverage,
+    run_shard,
+    shard_ledger_path,
+    validate_coverage,
+)
+from repro.synth.rmrls import synthesize
+
+
+def _solve(images):
+    # Table I protocol options: step-capped with state dedupe, matching
+    # what the sweep itself runs (library defaults can search
+    # unboundedly long proving optimality).
+    from repro.experiments.common import TABLE1_OPTIONS
+
+    result = synthesize(Permutation(list(images)), TABLE1_OPTIONS)
+    assert result.solved
+    return result.circuit
+
+
+def _ok_outcome(manifest, cls, circuit):
+    return TaskOutcome(
+        task_id=manifest.task_for_class(cls).task_id,
+        status="ok",
+        gate_count=circuit.gate_count(),
+        quantum_cost=circuit.quantum_cost(),
+        circuit=dump_real(circuit),
+    )
+
+
+def _write_ledger(path, manifest, outcomes, shard="shard1of1"):
+    with SweepLedger(
+        str(path), sweep=f"{manifest.namespace}:{shard}"
+    ) as ledger:
+        for outcome in outcomes:
+            ledger.record(outcome)
+    return str(path)
+
+
+def _padded(circuit):
+    """A strictly worse but still sound circuit: append a cancelling
+    pair of the first gate (or a NOT twice on line 0)."""
+    gate = circuit.gates[0] if circuit.gate_count() else None
+    if gate is None:
+        from repro.gates import not_gate
+
+        gate = not_gate(0)
+    return circuit.appended(gate).appended(gate)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return build_manifest("perm2", shards=1, limit=3)
+
+
+@pytest.fixture(scope="module")
+def solved(manifest):
+    classes = manifest.universe_object().classes[: manifest.items]
+    return {cls.class_rank: _solve(cls.images) for cls in classes}
+
+
+def _full_outcomes(manifest, solved, override=None):
+    classes = manifest.universe_object().classes[: manifest.items]
+    outcomes = []
+    for cls in classes:
+        if override is not None and cls.class_rank in override:
+            outcomes.append(override[cls.class_rank])
+        else:
+            outcomes.append(
+                _ok_outcome(manifest, cls, solved[cls.class_rank])
+            )
+    return outcomes
+
+
+class TestConflictRules:
+    def test_min_gate_count_wins_with_claims_retained(
+        self, tmp_path, manifest, solved
+    ):
+        classes = manifest.universe_object().classes[: manifest.items]
+        target = classes[1]
+        worse = _padded(solved[1])
+        a = _write_ledger(
+            tmp_path / "a.jsonl", manifest,
+            _full_outcomes(manifest, solved), shard="shard1of2",
+        )
+        b = _write_ledger(
+            tmp_path / "b.jsonl", manifest,
+            _full_outcomes(
+                manifest, solved,
+                {1: _ok_outcome(manifest, target, worse)},
+            ),
+            shard="shard2of2",
+        )
+        records, report = merge_ledgers(manifest, [a, b])
+        record = records[1]
+        assert record["gates"] == solved[1].gate_count()
+        assert {claim["gates"] for claim in record["claims"]} == {
+            solved[1].gate_count(), worse.gate_count(),
+        }
+        assert report["conflicts"] == 1
+        assert circuit_from_record(record).implements(
+            Permutation(list(target.images))
+        )
+
+    def test_unsound_claim_dropped_for_next_best(
+        self, tmp_path, manifest, solved
+    ):
+        classes = manifest.universe_object().classes[: manifest.items]
+        target = classes[2]
+        # A lying claim: fewer gates, but the circuit solves class 0.
+        lying = TaskOutcome(
+            task_id=manifest.task_for_class(target).task_id,
+            status="ok",
+            gate_count=solved[0].gate_count(),
+            circuit=dump_real(solved[0]),
+        )
+        a = _write_ledger(
+            tmp_path / "a.jsonl", manifest,
+            _full_outcomes(manifest, solved),
+        )
+        b = _write_ledger(
+            tmp_path / "b.jsonl", manifest,
+            _full_outcomes(manifest, solved, {2: lying}),
+            shard="shard1of9",
+        )
+        records, report = merge_ledgers(manifest, [a, b])
+        assert report["dropped_unsound"] >= 1
+        assert records[2]["gates"] == solved[2].gate_count()
+
+    def test_all_claims_unsound_records_unsound_status(
+        self, tmp_path, manifest, solved
+    ):
+        classes = manifest.universe_object().classes[: manifest.items]
+        target = classes[2]
+        lying = TaskOutcome(
+            task_id=manifest.task_for_class(target).task_id,
+            status="ok",
+            gate_count=0,
+            circuit=dump_real(solved[0]),
+        )
+        a = _write_ledger(
+            tmp_path / "a.jsonl", manifest,
+            _full_outcomes(manifest, solved, {2: lying}),
+        )
+        records, report = merge_ledgers(manifest, [a])
+        assert records[2]["status"] == "unsound"
+        assert "gates" not in records[2]
+
+    def test_failure_claims_resolve_deterministically(
+        self, tmp_path, manifest, solved
+    ):
+        classes = manifest.universe_object().classes[: manifest.items]
+        target = classes[0]
+        unsolved = TaskOutcome(
+            task_id=manifest.task_for_class(target).task_id,
+            status="unsolved",
+        )
+        timeout = TaskOutcome(
+            task_id=manifest.task_for_class(target).task_id,
+            status="timeout",
+        )
+        a = _write_ledger(
+            tmp_path / "a.jsonl", manifest,
+            _full_outcomes(manifest, solved, {0: timeout}),
+        )
+        b = _write_ledger(
+            tmp_path / "b.jsonl", manifest,
+            _full_outcomes(manifest, solved, {0: unsolved}),
+            shard="shard1of3",
+        )
+        records, _ = merge_ledgers(manifest, [a, b])
+        assert records[0]["status"] == "unsolved"
+        assert {claim["status"] for claim in records[0]["claims"]} == {
+            "unsolved", "timeout",
+        }
+
+
+class TestTornAndForeignLedgers:
+    def test_torn_ledger_line_falls_back_to_other_shard(
+        self, tmp_path, manifest, solved
+    ):
+        a = _write_ledger(
+            tmp_path / "a.jsonl", manifest,
+            _full_outcomes(manifest, solved),
+        )
+        b = _write_ledger(
+            tmp_path / "b.jsonl", manifest,
+            _full_outcomes(
+                manifest, solved,
+                {1: _ok_outcome(
+                    manifest,
+                    manifest.universe_object().classes[1],
+                    _padded(solved[1]),
+                )},
+            ),
+            shard="shard2of2",
+        )
+        # Tear ledger b mid-write: its final line is half gone.
+        content = open(b).read()
+        open(b, "w").write(content[: len(content) - 40])
+        records, report = merge_ledgers(manifest, [a, b])
+        assert report["skipped_lines"] >= 1
+        # Every class still resolves from the intact claims.
+        assert all(record["status"] == "ok" for record in records)
+        assert records[1]["gates"] == solved[1].gate_count()
+
+    def test_foreign_plan_ledger_refused(self, tmp_path, manifest, solved):
+        foreign = build_manifest(
+            "perm2", shards=1, limit=3, namespace="other-plan:v1"
+        )
+        path = _write_ledger(
+            tmp_path / "foreign.jsonl", foreign,
+            _full_outcomes(foreign, solved),
+        )
+        with pytest.raises(MergeError, match="refusing to merge"):
+            merge_ledgers(manifest, [path])
+
+    def test_missing_class_strict_raises_lenient_records(
+        self, tmp_path, manifest, solved
+    ):
+        partial = _write_ledger(
+            tmp_path / "partial.jsonl", manifest,
+            _full_outcomes(manifest, solved)[:2],
+        )
+        with pytest.raises(MergeError, match="no terminal outcome"):
+            merge_ledgers(manifest, [partial])
+        records, report = merge_ledgers(
+            manifest, [partial], strict=False
+        )
+        assert report["missing"] == 1
+        assert records[2]["status"] == "missing"
+
+
+class TestByteIdenticalCoverage:
+    def test_merge_is_independent_of_ledger_order_and_layout(
+        self, tmp_path
+    ):
+        manifest_a = build_manifest("perm2", shards=3)
+        out = str(tmp_path / "shards")
+        for index in range(3):
+            run_shard(manifest_a, index, out)
+        ledgers = [
+            shard_ledger_path(out, manifest_a, index)
+            for index in range(3)
+        ]
+        cov_a = str(tmp_path / "a.jsonl")
+        cov_b = str(tmp_path / "b.jsonl")
+        merge_to_coverage(manifest_a, ledgers, cov_a)
+        merge_to_coverage(manifest_a, list(reversed(ledgers)), cov_b)
+        assert open(cov_a, "rb").read() == open(cov_b, "rb").read()
+
+        # A different shard layout, fed by adoption, merges to the
+        # same bytes: the coverage is a function of the outcome set.
+        manifest_b = build_manifest("perm2", shards=2)
+        out_b = str(tmp_path / "shards2")
+        for index in range(2):
+            run_shard(manifest_b, index, out_b, adopt=ledgers)
+        cov_c = str(tmp_path / "c.jsonl")
+        merge_to_coverage(
+            manifest_b,
+            [shard_ledger_path(out_b, manifest_b, i) for i in range(2)],
+            cov_c,
+        )
+        assert open(cov_a, "rb").read() == open(cov_c, "rb").read()
+
+    def test_summary_and_validation_round_trip(self, tmp_path):
+        manifest = build_manifest("perm2", shards=2)
+        out = str(tmp_path / "shards")
+        for index in range(2):
+            run_shard(manifest, index, out)
+        cov = str(tmp_path / "coverage2.jsonl")
+        summary = merge_to_coverage(
+            manifest,
+            [shard_ledger_path(out, manifest, i) for i in range(2)],
+            cov,
+            store_path=str(tmp_path / "store"),
+        )
+        assert summary["classes"] == 14
+        assert summary["functions"] == 24
+        assert summary["store"]["stored"] == 14
+        report = validate_coverage(cov, replay=None)
+        assert report["complete"] and report["replayed"] == 14
+        header, records = load_coverage(cov)
+        assert header["body_digest"] == summary["body_digest"]
+        sidecar = json.load(open(summary["summary_path"]))
+        assert sidecar["body_digest"] == summary["body_digest"]
+
+    def test_coverage_tamper_detected(self, tmp_path):
+        manifest = build_manifest("perm2", shards=1)
+        out = str(tmp_path / "shards")
+        run_shard(manifest, 0, out)
+        cov = str(tmp_path / "coverage2.jsonl")
+        merge_to_coverage(
+            manifest, [shard_ledger_path(out, manifest, 0)], cov
+        )
+        lines = open(cov).read().splitlines()
+        record = json.loads(lines[5])
+        record["gates"] = 0  # oracle weakening must not go unnoticed
+        lines[5] = json.dumps(record, sort_keys=True,
+                              separators=(",", ":"))
+        open(cov, "w").write("\n".join(lines) + "\n")
+        from repro.sweeps import CoverageError
+
+        with pytest.raises(CoverageError, match="checksum"):
+            load_coverage(cov)

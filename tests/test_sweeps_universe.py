@@ -1,0 +1,95 @@
+"""Spec universes: permutation ranking and canonical-class enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.store.canonical import canonicalize
+from repro.sweeps import (
+    UNIVERSES,
+    enumerate_classes,
+    get_universe,
+    perm_rank,
+    perm_unrank,
+)
+
+
+class TestLehmerRanking:
+    def test_identity_ranks_zero(self):
+        assert perm_rank(range(8)) == 0
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_rank_is_lexicographic_position(self, size):
+        for rank, images in enumerate(
+            itertools.permutations(range(size))
+        ):
+            assert perm_rank(images) == rank
+            assert perm_unrank(rank, size) == images
+
+    def test_round_trip_spot_checks_size8(self, rng):
+        for _ in range(50):
+            rank = rng.randrange(40320)
+            assert perm_rank(perm_unrank(rank, 8)) == rank
+
+    def test_unrank_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            perm_unrank(24, 4)
+        with pytest.raises(ValueError):
+            perm_unrank(-1, 4)
+
+
+class TestClassEnumeration:
+    def test_perm2_has_14_classes_covering_24_functions(self):
+        classes = enumerate_classes(2)
+        assert len(classes) == 14
+        assert sum(cls.class_size for cls in classes) == 24
+
+    def test_perm3_has_6828_classes_covering_40320_functions(self):
+        classes = enumerate_classes(3)
+        assert len(classes) == 6828
+        assert sum(cls.class_size for cls in classes) == 40320
+
+    def test_ranks_are_dense_and_reps_lex_sorted(self):
+        classes = enumerate_classes(2)
+        assert [cls.class_rank for cls in classes] == list(range(14))
+        reps = [cls.images for cls in classes]
+        assert reps == sorted(reps)
+
+    def test_representatives_have_distinct_canonical_keys(self):
+        keys = {
+            canonicalize(list(cls.images)).key
+            for cls in enumerate_classes(2)
+        }
+        assert len(keys) == 14
+
+    def test_perm_rank_matches_representative(self):
+        for cls in enumerate_classes(2):
+            assert perm_rank(cls.images) == cls.perm_rank
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError, match="1..3"):
+            enumerate_classes(4)
+
+
+class TestUniverseRegistry:
+    def test_perm3_is_the_table1_universe(self):
+        universe = get_universe("perm3")
+        assert universe.size == 6828
+        assert universe.function_count == 40320
+
+    def test_slice_and_item(self):
+        universe = get_universe("perm2")
+        assert universe.item(0).class_rank == 0
+        assert len(universe.slice(3, 9)) == 6
+        with pytest.raises(ValueError):
+            universe.item(universe.size)
+        with pytest.raises(ValueError):
+            universe.slice(0, universe.size + 1)
+
+    def test_unknown_universe_rejected(self):
+        with pytest.raises(ValueError, match="unknown universe"):
+            get_universe("perm9")
+
+    def test_registry_names_are_self_consistent(self):
+        for name, universe in UNIVERSES.items():
+            assert universe.name == name
