@@ -1,0 +1,191 @@
+"""Adaptive slot allocation: per-spec-family strategy win statistics.
+
+The heterogeneous deck of :mod:`repro.parallel.strategy` races a fixed
+set of variants; this layer remembers *which variant wins where* and
+biases future decks toward the winners.  "Where" is a **spec family**
+— the coarse features the canonical store also keys on (variable
+count, initial PPRM term counts) — because those are what the search
+actually sees at the root, and they are invariant under the wire
+relabelings :mod:`repro.store.canonical` quotients away.
+
+The statistics live in a tolerant append-only JSONL file: one record
+per portfolio run, no timestamps and no machine identity (so two
+identical runs append identical bytes — the determinism contract of
+docs/parallel.md extends to the stats file).  Readers skip lines they
+cannot parse; a torn tail from a killed run costs one record, never
+the file.  Allocation bias is pure arithmetic over the aggregated
+wins (Laplace-smoothed win rates fed to
+:func:`repro.parallel.strategy.allocate_slots`): no ``random``, no
+clock — replaying the same stats file reproduces the same deck.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "STATS_SCHEMA",
+    "STATS_VERSION",
+    "StrategyStats",
+    "bias_weights",
+    "load_stats",
+    "record_portfolio",
+    "spec_family",
+]
+
+STATS_SCHEMA = "rmrls-strategy-stats"
+STATS_VERSION = 1
+
+
+def spec_family(system) -> str:
+    """The coarse spec-family key adaptive stats aggregate over.
+
+    ``v<num_vars>:t<sorted per-output term counts>`` — e.g. a 3-var
+    spec whose outputs hold 2, 4, and 7 PPRM terms is ``v3:t2-4-7``.
+    Term counts are invariant under wire relabeling (a relabeling
+    permutes variables inside terms and outputs across lines), so the
+    family matches the :mod:`repro.store.canonical` quotient: every
+    member of a canonical class lands in the same family.
+    """
+    counts = sorted(len(output) for output in system.outputs)
+    return f"v{system.num_vars}:t{'-'.join(str(c) for c in counts)}"
+
+
+@dataclass
+class StrategyStats:
+    """Aggregated view of one stats file.
+
+    ``families`` maps family key → variant name → ``{"wins", "slots",
+    "runs"}``; ``records``/``skipped`` count parsed and rejected
+    lines (the tolerant-reader contract).
+    """
+
+    families: dict = field(default_factory=dict)
+    records: int = 0
+    skipped: int = 0
+
+    def family(self, key: str) -> dict:
+        return self.families.get(key, {})
+
+    def as_dict(self) -> dict:
+        return {
+            "families": self.families,
+            "records": self.records,
+            "skipped": self.skipped,
+        }
+
+
+def load_stats(path) -> StrategyStats:
+    """Fold a stats JSONL file into per-family win/slot aggregates.
+
+    A missing file is an empty history, not an error; unparseable or
+    off-schema lines are counted in ``skipped`` and ignored.
+    """
+    stats = StrategyStats()
+    if not path:
+        return stats
+    try:
+        handle = open(path)
+    except OSError:
+        return stats
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                stats.skipped += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != STATS_SCHEMA
+                or not isinstance(record.get("family"), str)
+                or not isinstance(record.get("variants"), dict)
+            ):
+                stats.skipped += 1
+                continue
+            stats.records += 1
+            family = stats.families.setdefault(record["family"], {})
+            winner = record.get("winner")
+            for name, entry in record["variants"].items():
+                slot = family.setdefault(
+                    name, {"wins": 0, "slots": 0, "runs": 0}
+                )
+                slot["runs"] += 1
+                try:
+                    slot["slots"] += int(
+                        (entry or {}).get("slices") or 0
+                    )
+                except (TypeError, ValueError):
+                    pass
+                if name == winner:
+                    slot["wins"] += 1
+    return stats
+
+
+def record_portfolio(path, family: str, summary) -> bool:
+    """Append one portfolio run's outcome to the stats file.
+
+    ``summary`` is the run's
+    :class:`~repro.parallel.portfolio.PortfolioSummary`.  The record
+    carries no timestamps, so identical runs append identical bytes.
+    Recording is best-effort: an unwritable path returns ``False``
+    rather than failing the synthesis that produced the result.
+    """
+    variants: dict = {}
+    for entry in summary.slices:
+        if not entry.variant:
+            continue
+        slot = variants.setdefault(
+            entry.variant,
+            {"slices": 0, "solved": 0, "steps": 0, "best_gates": None},
+        )
+        slot["slices"] += 1
+        slot["steps"] += entry.steps
+        if entry.status == "ok" and entry.gate_count is not None:
+            slot["solved"] += 1
+            if slot["best_gates"] is None or entry.gate_count < slot[
+                "best_gates"
+            ]:
+                slot["best_gates"] = entry.gate_count
+    if not variants:
+        return False
+    record = {
+        "schema": STATS_SCHEMA,
+        "version": STATS_VERSION,
+        "family": family,
+        "jobs": summary.jobs,
+        "winner": summary.winner_variant,
+        "variants": variants,
+    }
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    try:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+    except OSError:
+        return False
+    return True
+
+
+def bias_weights(variants, family_stats: dict) -> list[float]:
+    """Laplace-smoothed per-variant win rates for deck allocation.
+
+    ``(wins + 1) / (runs + 2)`` per variant: an unseen variant weighs
+    0.5, a consistent winner approaches 1, a consistent loser
+    approaches 0 — so exploration never dies, but a family's champion
+    earns extra slots (largest-remainder rounding in
+    :func:`~repro.parallel.strategy.allocate_slots` does the rest).
+    """
+    weights = []
+    for entry in variants:
+        stats = family_stats.get(entry.name) or {}
+        wins = int(stats.get("wins") or 0)
+        runs = int(stats.get("runs") or 0)
+        weights.append((wins + 1.0) / (runs + 2.0))
+    return weights

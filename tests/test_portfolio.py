@@ -46,9 +46,20 @@ class TestPartitionSeeds:
         ranks = [rank for ranks in slices for rank in ranks]
         assert sorted(ranks) == list(range(23))
 
-    def test_more_jobs_than_seeds_drops_empty_slices(self):
-        assert partition_seeds(2, 8) == [(0,), (1,)]
-        assert partition_seeds(0, 4) == []
+    def test_more_jobs_than_seeds_yields_wellformed_empty_slices(self):
+        # Exactly ``jobs`` slices, always: surplus slots get empty
+        # tuples (the deck builder drops them, the homogeneous driver
+        # never materializes them as workers).
+        assert partition_seeds(2, 8) == [
+            (0,), (1,), (), (), (), (), (), (),
+        ]
+        assert partition_seeds(0, 4) == [(), (), (), ()]
+        assert partition_seeds(0, 1) == [()]
+
+    def test_slice_count_is_always_jobs(self):
+        for num_seeds in range(6):
+            for jobs in range(1, 6):
+                assert len(partition_seeds(num_seeds, jobs)) == jobs
 
     def test_validation(self):
         with pytest.raises(ValueError):
